@@ -1,0 +1,165 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section (§5), one benchmark family per exhibit. Each
+// iteration performs the complete experiment at a reduced scale; the
+// quantities of interest (virtual times, communication fractions,
+// speedups) are reported as benchmark metrics so `go test -bench` output
+// documents the reproduced shapes. The full-scale formatted tables come
+// from `go run ./cmd/benchsuite -all` (see EXPERIMENTS.md).
+package hipmer
+
+import (
+	"testing"
+
+	"hipmer/internal/expt"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+// benchScale is small enough to keep -bench runs in seconds per exhibit.
+func benchScale() expt.Scale {
+	return expt.Scale{
+		Cores:           []int{16, 32, 64},
+		RanksPerNode:    8,
+		Seed:            99,
+		K:               31,
+		HumanLen:        40000,
+		HumanCov:        25,
+		WheatLen:        40000,
+		WheatCov:        20,
+		MetaLen:         60000,
+		MetaSpecies:     15,
+		MetaPairs:       8000,
+		OracleFragments: 128,
+		IOSatCores:      24,
+		Fig6WheatLen:    120000,
+	}
+}
+
+// BenchmarkFig6KmerAnalysis regenerates Figure 6: strong scaling of k-mer
+// analysis on wheat-like data, Default vs Heavy Hitters.
+func BenchmarkFig6KmerAnalysis(b *testing.B) {
+	sc := benchScale()
+	var rows []expt.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = expt.Fig6(sc)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.DefaultSec/last.HeavyHitSec, "HHspeedup@top")
+	b.ReportMetric(last.DefaultCommPct, "comm%default@top")
+	b.ReportMetric(float64(last.HeavyHitters), "heavyHitters")
+}
+
+// BenchmarkTable1Traversal regenerates Table 1: communication-avoiding
+// traversal speedups (and Table 2's off-node percentages as metrics).
+func BenchmarkTable1Traversal(b *testing.B) {
+	sc := benchScale()
+	var rows []expt.OracleRow
+	for i := 0; i < b.N; i++ {
+		rows, _, _ = expt.Tables12(sc)
+	}
+	top := rows[len(rows)-1]
+	b.ReportMetric(top.SpeedupO1, "speedupOracle1")
+	b.ReportMetric(top.SpeedupO4, "speedupOracle4")
+	b.ReportMetric(top.OffPctNo, "offnode%NoOracle")
+}
+
+// BenchmarkTable2OffNodeReduction reports Table 2's headline quantity:
+// the reduction in off-node communication from the oracle layouts.
+func BenchmarkTable2OffNodeReduction(b *testing.B) {
+	sc := benchScale()
+	var rows []expt.OracleRow
+	for i := 0; i < b.N; i++ {
+		rows, _, _ = expt.Tables12(sc)
+	}
+	top := rows[len(rows)-1]
+	b.ReportMetric(top.ReductionO1, "reduction%Oracle1")
+	b.ReportMetric(top.ReductionO4, "reduction%Oracle4")
+}
+
+// BenchmarkFig7ScaffoldingHuman regenerates Figure 7 (left): scaffolding
+// strong scaling on the human-like dataset.
+func BenchmarkFig7ScaffoldingHuman(b *testing.B) {
+	benchSweep(b, "human", func(rows []expt.SweepRow) (float64, string) {
+		base, last := rows[0], rows[len(rows)-1]
+		eff := base.ScafSec / last.ScafSec * float64(base.Cores) / float64(last.Cores)
+		return eff, "scafEfficiency@top"
+	})
+}
+
+// BenchmarkFig7ScaffoldingWheat regenerates Figure 7 (right).
+func BenchmarkFig7ScaffoldingWheat(b *testing.B) {
+	benchSweep(b, "wheat", func(rows []expt.SweepRow) (float64, string) {
+		base, last := rows[0], rows[len(rows)-1]
+		eff := base.ScafSec / last.ScafSec * float64(base.Cores) / float64(last.Cores)
+		return eff, "scafEfficiency@top"
+	})
+}
+
+// BenchmarkFig8EndToEndHuman regenerates Figure 8 (left): end-to-end
+// strong scaling on the human-like dataset.
+func BenchmarkFig8EndToEndHuman(b *testing.B) {
+	benchSweep(b, "human", func(rows []expt.SweepRow) (float64, string) {
+		return rows[0].TotalSec / rows[len(rows)-1].TotalSec, "e2eSpeedup"
+	})
+}
+
+// BenchmarkFig8EndToEndWheat regenerates Figure 8 (right).
+func BenchmarkFig8EndToEndWheat(b *testing.B) {
+	benchSweep(b, "wheat", func(rows []expt.SweepRow) (float64, string) {
+		return rows[0].TotalSec / rows[len(rows)-1].TotalSec, "e2eSpeedup"
+	})
+}
+
+func benchSweep(b *testing.B, dataset string, metric func([]expt.SweepRow) (float64, string)) {
+	b.Helper()
+	sc := benchScale()
+	var rows []expt.SweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = expt.RunSweep(sc, dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, name := metric(rows)
+	b.ReportMetric(v, name)
+}
+
+// BenchmarkTable3Metagenome regenerates Table 3: metagenome k-mer
+// analysis and contig generation at two concurrencies with I/O separate.
+func BenchmarkTable3Metagenome(b *testing.B) {
+	sc := benchScale()
+	var rows []expt.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = expt.Table3(sc)
+	}
+	b.ReportMetric(rows[0].KmerSec/rows[1].KmerSec, "kmerScaling2x")
+	b.ReportMetric(rows[1].IOSec/rows[0].IOSec, "ioFlatness")
+}
+
+// BenchmarkCompareAssemblers regenerates the §5.6 comparison: HipMer vs
+// the Ray-like, ABySS-like, and serial-Meraculous baselines.
+func BenchmarkCompareAssemblers(b *testing.B) {
+	sc := benchScale()
+	var rows []expt.CompareRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = expt.Compare(sc)
+	}
+	for _, r := range rows[1:] {
+		b.ReportMetric(r.VsHipMer, r.Name+"VsHipMer")
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures one full assembly (wall time of the
+// simulation itself, not virtual time) — the practical cost of running
+// this reproduction.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	_, libs := pipeline.SimulatedHuman(5, 40000, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team := xrt.NewTeam(xrt.Config{Ranks: 32, RanksPerNode: 8})
+		if _, err := pipeline.Run(team, libs, pipeline.Config{K: 31, MinCount: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

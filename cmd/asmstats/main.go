@@ -1,0 +1,55 @@
+// Command asmstats reports assembly statistics (N50 etc.) for a FASTA
+// file, optionally validating against a reference.
+//
+// Usage:
+//
+//	asmstats assembly.fasta [-ref reference.fasta]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hipmer/internal/fasta"
+	"hipmer/internal/stats"
+)
+
+func main() {
+	refPath := flag.String("ref", "", "reference FASTA for validation")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmstats [-ref reference.fasta] assembly.fasta")
+		os.Exit(2)
+	}
+	recs, err := fasta.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asmstats: %v\n", err)
+		os.Exit(1)
+	}
+	var seqs [][]byte
+	for _, r := range recs {
+		seqs = append(seqs, r.Seq)
+	}
+	s := stats.Compute(seqs)
+	fmt.Printf("sequences: %d\ntotal:     %d\nmax:       %d\nmean:      %.1f\n"+
+		"N50:       %d\nN90:       %d\ngap Ns:    %d\n",
+		s.Sequences, s.TotalLen, s.MaxLen, s.MeanLen, s.N50, s.N90, s.GapBases)
+
+	if *refPath != "" {
+		refs, err := fasta.ReadFile(*refPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asmstats: %v\n", err)
+			os.Exit(1)
+		}
+		var ref []byte
+		for _, r := range refs {
+			ref = append(ref, r.Seq...)
+		}
+		v := stats.Validate(seqs, ref)
+		fmt.Printf("NG50:      %d\nplaced:    %d (unplaced %d, misassembled %d)\n"+
+			"coverage:  %.2f%%\nidentity:  %.4f%%\n",
+			stats.NG50(seqs, len(ref)), v.Placed, v.Unplaced, v.Misassemblies,
+			100*v.CoveredFrac, 100*v.IdentityFrac)
+	}
+}

@@ -1,0 +1,116 @@
+// Command benchsuite regenerates the paper's tables and figures on
+// scaled-down synthetic datasets and prints them in the paper's layout.
+//
+// Usage:
+//
+//	benchsuite -all             # every experiment (a few minutes)
+//	benchsuite -fig6 -table1    # selected experiments
+//	benchsuite -all -cores 48,96,192,384,768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hipmer/internal/expt"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	fig6 := flag.Bool("fig6", false, "Figure 6: heavy-hitter k-mer analysis scaling (wheat)")
+	table1 := flag.Bool("table1", false, "Tables 1+2: communication-avoiding traversal")
+	fig7 := flag.Bool("fig7", false, "Figure 7: scaffolding strong scaling (human+wheat)")
+	table3 := flag.Bool("table3", false, "Table 3: metagenome k-mer analysis + contigs")
+	fig8 := flag.Bool("fig8", false, "Figure 8: end-to-end strong scaling (human+wheat)")
+	compare := flag.Bool("compare", false, "§5.6: competing assemblers")
+	ablations := flag.Bool("ablations", false, "design-choice ablations: Bloom memory, aggregating stores, oracle sizing")
+	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
+	humanLen := flag.Int("human-len", 0, "human-like genome length override")
+	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
+	seed := flag.Int64("seed", 0, "seed override")
+	flag.Parse()
+
+	sc := expt.SmallScale()
+	if *coresFlag != "" {
+		var cores []int
+		for _, s := range strings.Split(*coresFlag, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: bad core count %q\n", s)
+				os.Exit(2)
+			}
+			cores = append(cores, c)
+		}
+		sc.Cores = cores
+	}
+	if *humanLen > 0 {
+		sc.HumanLen = *humanLen
+	}
+	if *wheatLen > 0 {
+		sc.WheatLen = *wheatLen
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("HipMer-Go experiment suite — cores %v, seed %d\n", sc.Cores, sc.Seed)
+	fmt.Printf("(virtual times on the simulated machine; shapes, not absolute values,\n")
+	fmt.Printf(" reproduce the paper — see EXPERIMENTS.md)\n\n")
+
+	if *all || *fig6 {
+		_, text := expt.Fig6(sc)
+		fmt.Println(text)
+	}
+	if *all || *table1 {
+		_, t1, t2 := expt.Tables12(sc)
+		fmt.Println(t1)
+		fmt.Println(t2)
+	}
+	var humanRows, wheatRows []expt.SweepRow
+	needSweep := *all || *fig7 || *fig8
+	if needSweep {
+		var err error
+		humanRows, err = expt.RunSweep(sc, "human")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		wheatRows, err = expt.RunSweep(sc, "wheat")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *all || *fig7 {
+		fmt.Println(expt.Fig7Format(humanRows))
+		fmt.Println(expt.Fig7Format(wheatRows))
+	}
+	if *all || *table3 {
+		_, text := expt.Table3(sc)
+		fmt.Println(text)
+	}
+	if *all || *fig8 {
+		fmt.Println(expt.Fig8Format(humanRows))
+		fmt.Println(expt.Fig8Format(wheatRows))
+	}
+	if *all || *compare {
+		_, text := expt.Compare(sc)
+		fmt.Println(text)
+	}
+	if *all || *ablations {
+		_, text := expt.AblationBloom(sc)
+		fmt.Println(text)
+		_, text = expt.AblationAggStores(sc)
+		fmt.Println(text)
+		_, text = expt.AblationOracleMemory(sc)
+		fmt.Println(text)
+	}
+}

@@ -1,0 +1,108 @@
+// Command meraligner aligns FASTQ reads against an assembly (FASTA) with
+// the parallel seed-and-extend aligner of paper §4.3, writing one
+// PAF-like tab-separated line per alignment:
+//
+//	readID readLen rStart rEnd strand contigName contigLen cStart cEnd matches alnLen
+//
+// Usage:
+//
+//	meraligner -reads reads.fastq -contigs assembly.fasta [-seed-len 19] [-ranks 16]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"hipmer/internal/aligner"
+	"hipmer/internal/contig"
+	"hipmer/internal/fasta"
+	"hipmer/internal/fastq"
+	"hipmer/internal/xrt"
+)
+
+func main() {
+	readsPath := flag.String("reads", "", "FASTQ reads to align")
+	contigsPath := flag.String("contigs", "", "FASTA contigs/scaffolds to align against")
+	seedLen := flag.Int("seed-len", 19, "seed k-mer length (odd)")
+	ranks := flag.Int("ranks", 16, "simulated processor count")
+	out := flag.String("out", "-", "output path (- for stdout)")
+	flag.Parse()
+	if *readsPath == "" || *contigsPath == "" {
+		fmt.Fprintln(os.Stderr, "meraligner: -reads and -contigs are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	refs, err := fasta.ReadFile(*contigsPath)
+	if err != nil {
+		fail(err)
+	}
+	team := xrt.NewTeam(xrt.Config{Ranks: *ranks})
+	byRank := make([][]*contig.Contig, *ranks)
+	names := make(map[int64]string)
+	for i, rec := range refs {
+		c := &contig.Contig{ID: int64(i + 1), Seq: rec.Seq}
+		byRank[i%*ranks] = append(byRank[i%*ranks], c)
+		names[c.ID] = rec.Name
+	}
+	idx := aligner.BuildIndex(team, byRank, aligner.Options{SeedLen: *seedLen})
+
+	fl, err := fastq.OpenSplit(*readsPath, *ranks)
+	if err != nil {
+		fail(err)
+	}
+	defer fl.Close()
+	readsByRank := make([][]fastq.Record, *ranks)
+	var readErr error
+	team.Run(func(r *xrt.Rank) {
+		recs, err := fl.ReadPart(r.ID)
+		if err != nil {
+			readErr = err
+			return
+		}
+		readsByRank[r.ID] = recs
+	})
+	if readErr != nil {
+		fail(readErr)
+	}
+
+	alns := aligner.AlignAll(team, idx, readsByRank)
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	total, aligned := 0, 0
+	for rk := range readsByRank {
+		for i, rec := range readsByRank[rk] {
+			total++
+			if len(alns[rk][i]) > 0 {
+				aligned++
+			}
+			for _, a := range alns[rk][i] {
+				strand := "+"
+				if a.Flipped {
+					strand = "-"
+				}
+				fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+					rec.ID, a.ReadLen, a.RStart, a.REnd, strand,
+					names[a.ContigID], a.ContigLen, a.CStart, a.CEnd,
+					a.Matches, a.REnd-a.RStart)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "meraligner: %d/%d reads aligned\n", aligned, total)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "meraligner: %v\n", err)
+	os.Exit(1)
+}

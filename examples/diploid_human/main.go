@@ -1,0 +1,38 @@
+// Diploid human-like assembly: the dataset carries two haplotypes that
+// differ at ~0.1% of positions, producing bubbles in the de Bruijn graph
+// that the scaffolder's bubble module identifies and merges (paper §4.2).
+//
+//	go run ./examples/diploid_human
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipmer"
+)
+
+func main() {
+	ref, lib := hipmer.SimHumanLike(7, 120000, 40)
+	fmt.Printf("diploid dataset: %d reads over a %d bp genome "+
+		"(two haplotypes, 0.1%% heterozygosity)\n", len(lib.Reads), len(ref))
+
+	res, err := hipmer.Assemble([]hipmer.Library{lib}, hipmer.Options{
+		K: 31, MinCount: 4, Ranks: 48,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("contigs before bubble merging: %d\n", res.ContigCount)
+	fmt.Printf("bubble paths popped:           %d\n", res.Bubbles)
+	fmt.Printf("scaffolds:                     %d (N50 %d)\n",
+		res.Stats.Sequences, res.Stats.N50)
+
+	v := res.Validate(ref)
+	fmt.Printf("vs haplotype 1: coverage %.2f%%, identity %.4f%%, misassemblies %d\n",
+		100*v.CoveredFrac, 100*v.IdentityFrac, v.Misassemblies)
+	if res.Bubbles == 0 {
+		fmt.Println("note: no bubbles — try higher coverage or heterozygosity")
+	}
+}

@@ -1,0 +1,3 @@
+module hipmer
+
+go 1.22

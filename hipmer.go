@@ -1,0 +1,351 @@
+// Package hipmer is a from-scratch Go reproduction of HipMer, the
+// extreme-scale de novo genome assembler of Georganas et al. (SC'15),
+// itself a high-performance parallelization of the Meraculous assembler.
+//
+// The package assembles paired-end short reads into scaffolds through the
+// full Meraculous pipeline — k-mer analysis with Bloom-filter error
+// exclusion and heavy-hitter handling, de Bruijn contig generation with a
+// speculative parallel traversal, the seven scaffolding modules including
+// the merAligner read-to-contig aligner, and gap closing — executed over
+// a simulated distributed runtime whose ranks, nodes, and communication
+// costs stand in for the paper's UPC/Cray XC30 environment. Outputs are
+// deterministic for a fixed Options.Seed.
+//
+// Quick start:
+//
+//	res, err := hipmer.Assemble([]hipmer.Library{{
+//		Name: "lib1", Path: "reads.fastq", InsertMean: 400,
+//	}}, hipmer.Options{K: 31, Ranks: 32})
+//
+// See the examples directory for runnable scenarios and DESIGN.md for the
+// full system layout.
+package hipmer
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hipmer/internal/contig"
+	"hipmer/internal/fastq"
+	"hipmer/internal/genome"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/seqdb"
+	"hipmer/internal/stats"
+	"hipmer/internal/xrt"
+)
+
+// Read is one sequencing read.
+type Read struct {
+	ID   []byte
+	Seq  []byte
+	Qual []byte // phred+33
+}
+
+// Library is one paired-end read library. Reads come either from a FASTQ
+// file (read in parallel with the block reader of paper §3.3) or from
+// memory; in-memory reads must be interleaved pairs (elements 2i and 2i+1
+// are mates).
+type Library struct {
+	Name string
+	// Path to a FASTQ file (or a ".seqdb" binary container written by
+	// WriteSeqDB); takes precedence over Reads.
+	Path string
+	// Reads are interleaved in-memory pairs.
+	Reads []Read
+	// InsertMean seeds insert-size estimation on small datasets (the
+	// estimator's own value is used whenever enough pairs map).
+	InsertMean int
+}
+
+// Options configures an assembly.
+type Options struct {
+	// K is the k-mer length; must be odd, defaults to 31.
+	K int
+	// MinCount discards k-mers seen fewer times as erroneous (default 2).
+	MinCount int
+	// Ranks is the simulated processor count (default 16).
+	Ranks int
+	// RanksPerNode groups ranks into simulated nodes (default 24).
+	RanksPerNode int
+	// Seed fixes all randomized decisions (default 1).
+	Seed int64
+	// DisableHeavyHitters turns off the §3.1 frequent-k-mer optimization.
+	DisableHeavyHitters bool
+	// ContigsOnly stops after contig generation (metagenome mode, §5.4).
+	ContigsOnly bool
+	// OracleContigs, when non-nil, builds the §3.2 communication-avoiding
+	// placement from a previous assembly of the same species (e.g.
+	// Result.Scaffolds of another individual) before assembling.
+	OracleContigs [][]byte
+	// OracleSlots sizes the oracle vector (default 8x the k-mer count of
+	// OracleContigs).
+	OracleSlots int
+	// ScaffoldRounds repeats scaffolding + gap closing, feeding scaffolds
+	// back in as contigs; the paper's wheat runs used four rounds (§5.3).
+	// Default 1.
+	ScaffoldRounds int
+}
+
+// StageTime reports one pipeline stage's simulated (virtual) duration —
+// the modelled time on the simulated machine — and the wall time the
+// simulation itself took.
+type StageTime struct {
+	Name    string
+	Virtual time.Duration
+	Wall    time.Duration
+}
+
+// Stats summarizes an assembly.
+type Stats struct {
+	Sequences int
+	TotalLen  int
+	MaxLen    int
+	N50       int
+	N90       int
+	GapBases  int
+}
+
+// Validation compares an assembly against a known reference.
+type Validation struct {
+	Placed        int
+	Unplaced      int
+	Misassemblies int
+	CoveredFrac   float64
+	IdentityFrac  float64
+}
+
+// Result is a finished assembly.
+type Result struct {
+	// Scaffolds are the final assembled sequences (contigs in
+	// ContigsOnly mode), longest first.
+	Scaffolds [][]byte
+	// ContigSeqs are the uncontested contig sequences before scaffolding —
+	// the input the §3.2 oracle partitioning is built from.
+	ContigSeqs [][]byte
+	// Stats summarizes the assembly.
+	Stats Stats
+	// Timings lists per-stage virtual durations, ending with "total".
+	Timings []StageTime
+	// ContigCount and HeavyHitters expose pipeline internals of interest.
+	ContigCount  int64
+	HeavyHitters int
+	Bubbles      int
+	GapsClosed   int
+	Gaps         int
+}
+
+// Assemble runs the full pipeline.
+func Assemble(libs []Library, opt Options) (*Result, error) {
+	if opt.K == 0 {
+		opt.K = 31
+	}
+	if opt.K%2 == 0 {
+		return nil, fmt.Errorf("hipmer: k must be odd, got %d", opt.K)
+	}
+	if opt.Ranks <= 0 {
+		opt.Ranks = 16
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	var plibs []pipeline.Library
+	for _, l := range libs {
+		pl := pipeline.Library{Name: l.Name, Path: l.Path, InsertHint: l.InsertMean}
+		for _, rd := range l.Reads {
+			pl.Records = append(pl.Records, fastq.Record{ID: rd.ID, Seq: rd.Seq, Qual: rd.Qual})
+		}
+		plibs = append(plibs, pl)
+	}
+	cfg := pipeline.Config{
+		K:                   opt.K,
+		MinCount:            opt.MinCount,
+		DisableHeavyHitters: opt.DisableHeavyHitters,
+		ContigsOnly:         opt.ContigsOnly,
+		ScaffoldRounds:      opt.ScaffoldRounds,
+	}
+	if len(opt.OracleContigs) > 0 {
+		var cs []*contig.Contig
+		n := 0
+		for i, seq := range opt.OracleContigs {
+			cs = append(cs, &contig.Contig{ID: int64(i + 1), Seq: seq})
+			n += len(seq)
+		}
+		slots := opt.OracleSlots
+		if slots <= 0 {
+			slots = 8 * n
+		}
+		cfg.Oracle = contig.BuildOracle(cs, opt.K, opt.Ranks, slots)
+	}
+	team := xrt.NewTeam(xrt.Config{
+		Ranks:        opt.Ranks,
+		RanksPerNode: opt.RanksPerNode,
+		Seed:         opt.Seed,
+	})
+	pres, err := pipeline.Run(team, plibs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Scaffolds: pres.FinalSeqs}
+	if pres.Contigs != nil {
+		for _, c := range pres.Contigs.All() {
+			res.ContigSeqs = append(res.ContigSeqs, c.Seq)
+		}
+	}
+	s := stats.Compute(pres.FinalSeqs)
+	res.Stats = Stats{
+		Sequences: s.Sequences, TotalLen: s.TotalLen, MaxLen: s.MaxLen,
+		N50: s.N50, N90: s.N90, GapBases: s.GapBases,
+	}
+	for _, t := range pres.Timings {
+		res.Timings = append(res.Timings, StageTime{Name: t.Name, Virtual: t.Virtual, Wall: t.Wall})
+	}
+	if pres.Contigs != nil {
+		res.ContigCount = pres.Contigs.NumContigs
+	}
+	if pres.KAnalysis != nil {
+		res.HeavyHitters = pres.KAnalysis.HeavyHitters
+	}
+	if pres.Scaffold != nil {
+		res.Bubbles = pres.Scaffold.Bubbles
+	}
+	if pres.Gapclose != nil {
+		res.GapsClosed = pres.Gapclose.Closed
+		res.Gaps = pres.Gapclose.Gaps
+	}
+	return res, nil
+}
+
+// Validate compares the assembly to a reference sequence.
+func (r *Result) Validate(ref []byte) Validation {
+	v := stats.Validate(r.Scaffolds, ref)
+	return Validation{
+		Placed: v.Placed, Unplaced: v.Unplaced, Misassemblies: v.Misassemblies,
+		CoveredFrac: v.CoveredFrac, IdentityFrac: v.IdentityFrac,
+	}
+}
+
+// Timing returns the named stage's virtual duration (zero if absent).
+func (r *Result) Timing(name string) time.Duration {
+	for _, t := range r.Timings {
+		if t.Name == name {
+			return t.Virtual
+		}
+	}
+	return 0
+}
+
+// WriteFasta writes the scaffolds as FASTA.
+func (r *Result) WriteFasta(w io.Writer) error {
+	for i, seq := range r.Scaffolds {
+		if _, err := fmt.Fprintf(w, ">scaffold_%d len=%d\n", i+1, len(seq)); err != nil {
+			return err
+		}
+		for j := 0; j < len(seq); j += 80 {
+			end := j + 80
+			if end > len(seq) {
+				end = len(seq)
+			}
+			if _, err := w.Write(seq[j:end]); err != nil {
+				return err
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Synthetic data generation (the evaluation datasets, scaled).
+
+// SimHumanLike generates a human-like diploid dataset: mostly unique
+// sequence, 0.1% heterozygosity, one short-insert library. It returns the
+// reference haplotype and the library.
+func SimHumanLike(seed int64, genomeLen int, coverage float64) ([]byte, Library) {
+	rng := xrt.NewPrng(seed)
+	g := genome.HumanLike(rng, genomeLen)
+	hap2 := genome.Mutate(rng, g, 0.001)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage:   coverage,
+		Lib:        genome.Library{Name: "pe395", ReadLen: 101, InsertMean: 395, InsertSD: 30},
+		Err:        genome.DefaultErrorModel(),
+		Haplotypes: [][]byte{hap2},
+	})
+	return g, Library{Name: "pe395", Reads: toReads(recs), InsertMean: 395}
+}
+
+// SimWheatLike generates a wheat-like dataset: highly repetitive with
+// heavy-hitter k-mers, three libraries including long inserts.
+func SimWheatLike(seed int64, genomeLen int, coverage float64) ([]byte, []Library) {
+	g, plibs := simWheat(seed, genomeLen, coverage)
+	var libs []Library
+	for _, pl := range plibs {
+		libs = append(libs, Library{Name: pl.Name, Reads: toReads(pl.Records), InsertMean: pl.InsertHint})
+	}
+	return g, libs
+}
+
+func simWheat(seed int64, genomeLen int, coverage float64) ([]byte, []pipeline.Library) {
+	return pipeline.SimulatedWheat(seed, genomeLen, coverage)
+}
+
+// SimMetagenome generates a wetlands-like metagenome dataset: many
+// species with log-normal abundances.
+func SimMetagenome(seed int64, totalLen, species, pairs int) Library {
+	plibs := pipeline.SimulatedMetagenome(seed, totalLen, species, pairs)
+	return Library{Name: plibs[0].Name, Reads: toReads(plibs[0].Records), InsertMean: 300}
+}
+
+// SimReads generates paired-end reads from an arbitrary genome.
+func SimReads(seed int64, g []byte, coverage float64, readLen, insertMean, insertSD int) Library {
+	rng := xrt.NewPrng(seed)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: coverage,
+		Lib: genome.Library{Name: "sim", ReadLen: readLen,
+			InsertMean: insertMean, InsertSD: insertSD},
+		Err: genome.DefaultErrorModel(),
+	})
+	return Library{Name: "sim", Reads: toReads(recs), InsertMean: insertMean}
+}
+
+// RandomGenome generates a uniform random genome sequence.
+func RandomGenome(seed int64, n int) []byte {
+	return genome.Random(xrt.NewPrng(seed), n)
+}
+
+// MutateGenome introduces SNPs at the given rate — e.g. to derive another
+// individual of the same species for the oracle workflow.
+func MutateGenome(seed int64, g []byte, rate float64) []byte {
+	return genome.Mutate(xrt.NewPrng(seed), g, rate)
+}
+
+// WriteFastq writes a library's reads as a FASTQ file suitable for
+// Library.Path input.
+func WriteFastq(w io.Writer, lib Library) error {
+	return fastq.Write(w, toRecords(lib))
+}
+
+// WriteSeqDB writes a library's reads in the SeqDB-like binary container
+// (2-bit packed, block-indexed for parallel reading); pass the resulting
+// path (ending in ".seqdb") as Library.Path.
+func WriteSeqDB(path string, lib Library) error {
+	return seqdb.WriteFile(path, toRecords(lib))
+}
+
+func toRecords(lib Library) []fastq.Record {
+	recs := make([]fastq.Record, len(lib.Reads))
+	for i, rd := range lib.Reads {
+		recs[i] = fastq.Record{ID: rd.ID, Seq: rd.Seq, Qual: rd.Qual}
+	}
+	return recs
+}
+
+func toReads(recs []fastq.Record) []Read {
+	out := make([]Read, len(recs))
+	for i, r := range recs {
+		out[i] = Read{ID: r.ID, Seq: r.Seq, Qual: r.Qual}
+	}
+	return out
+}

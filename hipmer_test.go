@@ -1,0 +1,130 @@
+package hipmer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAssembleInMemory(t *testing.T) {
+	g := RandomGenome(1, 20000)
+	lib := SimReads(2, g, 30, 100, 350, 25)
+	res, err := Assemble([]Library{lib}, Options{K: 31, MinCount: 3, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalLen < 18000 {
+		t.Fatalf("assembled only %d bases of a 20k genome", res.Stats.TotalLen)
+	}
+	v := res.Validate(g)
+	if v.CoveredFrac < 0.95 || v.IdentityFrac < 0.999 {
+		t.Fatalf("poor assembly: %+v", v)
+	}
+	if res.Timing("total") <= 0 {
+		t.Fatal("no total timing")
+	}
+}
+
+func TestAssembleRejectsEvenK(t *testing.T) {
+	if _, err := Assemble(nil, Options{K: 30}); err == nil {
+		t.Fatal("even k accepted")
+	}
+}
+
+func TestHumanLikeDiploid(t *testing.T) {
+	ref, lib := SimHumanLike(3, 25000, 35)
+	res, err := Assemble([]Library{lib}, Options{K: 31, MinCount: 4, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Validate(ref)
+	if v.CoveredFrac < 0.7 {
+		t.Fatalf("diploid assembly covers only %.3f", v.CoveredFrac)
+	}
+}
+
+func TestWheatLikeHeavyHitters(t *testing.T) {
+	_, libs := SimWheatLike(4, 40000, 25)
+	res, err := Assemble(libs, Options{K: 31, MinCount: 3, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeavyHitters == 0 {
+		t.Fatal("wheat-like data produced no heavy hitters")
+	}
+}
+
+func TestMetagenomeContigsOnly(t *testing.T) {
+	lib := SimMetagenome(5, 50000, 10, 5000)
+	res, err := Assemble([]Library{lib}, Options{K: 21, Ranks: 8, ContigsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContigCount == 0 || len(res.Scaffolds) == 0 {
+		t.Fatal("no contigs from metagenome")
+	}
+	if res.Gaps != 0 {
+		t.Fatal("gap closing should not run in contigs-only mode")
+	}
+}
+
+func TestOracleWorkflow(t *testing.T) {
+	// assemble individual 1, reuse its scaffolds as the oracle for
+	// individual 2 of the same species
+	g1 := RandomGenome(6, 15000)
+	lib1 := SimReads(7, g1, 30, 100, 350, 25)
+	res1, err := Assemble([]Library{lib1}, Options{K: 31, MinCount: 3, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := MutateGenome(8, g1, 0.002)
+	lib2 := SimReads(9, g2, 30, 100, 350, 25)
+	if len(res1.ContigSeqs) == 0 {
+		t.Fatal("no contig sequences exposed")
+	}
+	res2, err := Assemble([]Library{lib2}, Options{
+		K: 31, MinCount: 3, Ranks: 8, OracleContigs: res1.ContigSeqs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res2.Validate(g2)
+	if v.CoveredFrac < 0.95 {
+		t.Fatalf("oracle-placed assembly covers only %.3f", v.CoveredFrac)
+	}
+}
+
+func TestWriteFastaAndFastq(t *testing.T) {
+	g := RandomGenome(10, 5000)
+	lib := SimReads(11, g, 10, 100, 300, 20)
+	var fq bytes.Buffer
+	if err := WriteFastq(&fq, lib); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fq.String(), "@") {
+		t.Fatal("not FASTQ output")
+	}
+	res, err := Assemble([]Library{lib}, Options{K: 21, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fa bytes.Buffer
+	if err := res.WriteFasta(&fa); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fa.String(), ">scaffold_1") {
+		t.Fatalf("bad fasta: %.60s", fa.String())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := RandomGenome(12, 8000)
+	lib := SimReads(13, g, 20, 100, 300, 20)
+	res, err := Assemble([]Library{lib}, Options{}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaffolds) == 0 {
+		t.Fatal("default options produced nothing")
+	}
+}

@@ -1,0 +1,119 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hipmer/internal/xrt"
+)
+
+func hashes(x uint64) (uint64, uint64) {
+	return xrt.Splitmix64(x), xrt.Splitmix64(x ^ 0xdeadbeef)
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := uint64(0); i < 10000; i++ {
+		h1, h2 := hashes(i)
+		f.Add(h1, h2)
+	}
+	for i := uint64(0); i < 10000; i++ {
+		h1, h2 := hashes(i)
+		if !f.Contains(h1, h2) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateWithinBound(t *testing.T) {
+	const n = 50000
+	f := New(n, 0.01)
+	for i := uint64(0); i < n; i++ {
+		h1, h2 := hashes(i)
+		f.Add(h1, h2)
+	}
+	fp := 0
+	const trials = 50000
+	for i := uint64(n); i < n+trials; i++ {
+		h1, h2 := hashes(i)
+		if f.Contains(h1, h2) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.03 { // 3x slack over the 1% design point
+		t.Fatalf("false positive rate %f too high", rate)
+	}
+}
+
+func TestAddReportsSecondSighting(t *testing.T) {
+	f := New(1000, 0.01)
+	h1, h2 := hashes(42)
+	if f.Add(h1, h2) {
+		t.Fatal("first add reported present")
+	}
+	if !f.Add(h1, h2) {
+		t.Fatal("second add not reported present")
+	}
+}
+
+func TestApproxCount(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := uint64(0); i < 5000; i++ {
+		h1, h2 := hashes(i)
+		f.Add(h1, h2)
+		f.Add(h1, h2) // duplicates must not inflate the count
+	}
+	c := f.ApproxCount()
+	if c < 4800 || c > 5000 {
+		t.Fatalf("approx count %d far from 5000", c)
+	}
+}
+
+func TestSizingDegenerateInputs(t *testing.T) {
+	for _, tc := range []struct {
+		n uint64
+		p float64
+	}{{0, 0.01}, {10, 0}, {10, 1}, {10, -3}, {1, 0.5}} {
+		f := New(tc.n, tc.p)
+		if f.Bits() < 64 || f.NumProbes() < 1 || f.NumProbes() > 16 {
+			t.Fatalf("degenerate sizing n=%d p=%f: bits=%d k=%d",
+				tc.n, tc.p, f.Bits(), f.NumProbes())
+		}
+	}
+}
+
+func TestContainsNeverFalseNegativeProperty(t *testing.T) {
+	f := New(500, 0.05)
+	prop := func(x uint64) bool {
+		h1, h2 := hashes(x)
+		f.Add(h1, h2)
+		return f.Contains(h1, h2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(1000, 0.01)
+	if f.FillRatio() != 0 {
+		t.Fatal("fresh filter not empty")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		h1, h2 := hashes(i)
+		f.Add(h1, h2)
+	}
+	if r := f.FillRatio(); r < 0.3 || r > 0.7 {
+		t.Fatalf("fill ratio %f outside expected band near 0.5", r)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(uint64(b.N)+1, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1, h2 := hashes(uint64(i))
+		f.Add(h1, h2)
+	}
+}

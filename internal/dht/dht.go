@@ -1,0 +1,286 @@
+// Package dht implements the distributed hash tables at the heart of
+// HipMer (paper §7: "distributed hash tables lie in the heart of HipMer
+// and the main operations on them are irregular lookups"). A Table is
+// partitioned into one shard per rank; the owner of a key is determined by
+// a placement function over the key's hash — the uniform h mod p layout by
+// default, or an oracle layout (see Oracle) for the communication-avoiding
+// traversal of §3.2.
+//
+// Two communication patterns from the paper are modelled faithfully:
+//
+//   - Irregular lookups (Get/Mutate): one message per operation, classified
+//     local / on-node / off-node by the xrt layer. These are the events
+//     whose locality Table 2 of the paper reports.
+//   - Aggregating stores (Put): updates are buffered per destination rank
+//     and flushed as one message per full buffer, the optimization HipMer
+//     uses for hash-table construction (§4.1, §4.6).
+//
+// Physically everything is an in-process sharded map guarded by mutexes;
+// the xrt cost layer supplies the distributed-memory semantics of interest.
+package dht
+
+import (
+	"sync"
+
+	"hipmer/internal/xrt"
+)
+
+// PlaceFunc maps a key hash to an owning rank.
+type PlaceFunc func(hash uint64) int
+
+// Options configures a Table.
+type Options[K comparable] struct {
+	// Hash maps a key to a 64-bit hash. Required.
+	Hash func(K) uint64
+	// Place overrides the owner computation; nil means hash % ranks.
+	Place PlaceFunc
+	// ItemBytes approximates the wire size of one key+value, used for
+	// bandwidth charging. Defaults to 24.
+	ItemBytes int
+	// AggBufSize is the aggregating-stores buffer length per destination
+	// rank. 1 disables aggregation (one message per store, the behaviour
+	// the baselines use). Defaults to 512.
+	AggBufSize int
+}
+
+// ApplyFunc is an owner-side store handler: it runs under the owning
+// shard's lock with direct access to the shard map, letting callers attach
+// owner-local state (e.g. the per-owner Bloom filters of k-mer analysis)
+// to the application of aggregated stores.
+type ApplyFunc[K comparable, V any] func(owner int, k K, incoming V, shard map[K]V)
+
+// Table is a distributed hash table of K→V with a user-supplied merge
+// function applied when a Put lands on an existing key.
+type Table[K comparable, V any] struct {
+	team  *xrt.Team
+	opt   Options[K]
+	merge func(old V, incoming V, exists bool) V
+	apply ApplyFunc[K, V] // overrides merge when non-nil
+
+	shards []shard[K, V]
+	locals []localState[K, V]
+}
+
+// SetApply installs an owner-side apply hook that replaces the merge
+// function for subsequent Put flushes. Must not be called while an SPMD
+// phase is mutating the table.
+func (t *Table[K, V]) SetApply(fn ApplyFunc[K, V]) { t.apply = fn }
+
+type shard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+	_  [32]byte // reduce false sharing between shard locks
+}
+
+type kv[K comparable, V any] struct {
+	k K
+	v V
+}
+
+type localState[K comparable, V any] struct {
+	bufs [][]kv[K, V] // per destination rank
+}
+
+// New creates a table across the team. merge resolves Put collisions:
+// it receives the existing value (zero if !exists) and the incoming one
+// and returns the value to store. A nil merge means "last write wins".
+func New[K comparable, V any](team *xrt.Team, opt Options[K],
+	merge func(old V, incoming V, exists bool) V) *Table[K, V] {
+	if opt.Hash == nil {
+		panic("dht: Options.Hash is required")
+	}
+	if opt.ItemBytes <= 0 {
+		opt.ItemBytes = 24
+	}
+	if opt.AggBufSize <= 0 {
+		opt.AggBufSize = 512
+	}
+	if merge == nil {
+		merge = func(_ V, in V, _ bool) V { return in }
+	}
+	p := team.Config().Ranks
+	t := &Table[K, V]{team: team, opt: opt, merge: merge}
+	t.shards = make([]shard[K, V], p)
+	for i := range t.shards {
+		t.shards[i].m = make(map[K]V)
+	}
+	t.locals = make([]localState[K, V], p)
+	for i := range t.locals {
+		t.locals[i].bufs = make([][]kv[K, V], p)
+	}
+	return t
+}
+
+// Owner returns the rank owning key k under the current placement.
+func (t *Table[K, V]) Owner(k K) int {
+	h := t.opt.Hash(k)
+	if t.opt.Place != nil {
+		return t.opt.Place(h)
+	}
+	return int(h % uint64(t.team.Config().Ranks))
+}
+
+// Put enqueues a store of (k, v); it is applied at the owner when the
+// destination buffer fills or Flush is called. Visibility is guaranteed
+// only after Flush + barrier, matching the one-sided aggregating-stores
+// semantics of the paper.
+func (t *Table[K, V]) Put(r *xrt.Rank, k K, v V) {
+	dst := t.Owner(k)
+	ls := &t.locals[r.ID]
+	ls.bufs[dst] = append(ls.bufs[dst], kv[K, V]{k, v})
+	if len(ls.bufs[dst]) >= t.opt.AggBufSize {
+		t.flushTo(r, dst)
+	}
+}
+
+func (t *Table[K, V]) flushTo(r *xrt.Rank, dst int) {
+	ls := &t.locals[r.ID]
+	buf := ls.bufs[dst]
+	if len(buf) == 0 {
+		return
+	}
+	r.ChargeStoreBatch(dst, len(buf), len(buf)*t.opt.ItemBytes)
+	sh := &t.shards[dst]
+	sh.mu.Lock()
+	if t.apply != nil {
+		for _, e := range buf {
+			t.apply(dst, e.k, e.v, sh.m)
+		}
+	} else {
+		for _, e := range buf {
+			old, exists := sh.m[e.k]
+			sh.m[e.k] = t.merge(old, e.v, exists)
+		}
+	}
+	sh.mu.Unlock()
+	ls.bufs[dst] = buf[:0]
+}
+
+// Flush drains all of the calling rank's store buffers. Callers normally
+// follow a collective Flush with a barrier before reading.
+func (t *Table[K, V]) Flush(r *xrt.Rank) {
+	for dst := range t.locals[r.ID].bufs {
+		t.flushTo(r, dst)
+	}
+}
+
+// Get performs an irregular lookup: one message to the owner (unless
+// local), classified and charged by the xrt layer.
+func (t *Table[K, V]) Get(r *xrt.Rank, k K) (V, bool) {
+	dst := t.Owner(k)
+	r.ChargeLookup(dst, t.opt.ItemBytes)
+	sh := &t.shards[dst]
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Mutate runs fn atomically on the value stored under k at its owner,
+// modelling a remote atomic (the lightweight synchronization primitive the
+// traversal uses). fn receives the current value and whether it exists and
+// returns the new value and whether to store it. Results can be captured
+// through the closure.
+func (t *Table[K, V]) Mutate(r *xrt.Rank, k K, fn func(v V, exists bool) (V, bool)) {
+	dst := t.Owner(k)
+	r.ChargeLookup(dst, t.opt.ItemBytes)
+	sh := &t.shards[dst]
+	sh.mu.Lock()
+	old, exists := sh.m[k]
+	if nv, store := fn(old, exists); store {
+		sh.m[k] = nv
+	}
+	sh.mu.Unlock()
+}
+
+// Delete removes k at its owner (charged as a lookup-class operation).
+func (t *Table[K, V]) Delete(r *xrt.Rank, k K) {
+	dst := t.Owner(k)
+	r.ChargeLookup(dst, t.opt.ItemBytes)
+	sh := &t.shards[dst]
+	sh.mu.Lock()
+	delete(sh.m, k)
+	sh.mu.Unlock()
+}
+
+// LocalRange iterates the calling rank's shard. fn returning false stops
+// the iteration. Values seen are snapshots; mutating the table during
+// iteration is not allowed. Iteration itself is free of communication
+// (the paper's "each processor iterates over its local buckets").
+func (t *Table[K, V]) LocalRange(r *xrt.Rank, fn func(k K, v V) bool) {
+	sh := &t.shards[r.ID]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k, v := range sh.m {
+		r.Charge(t.team.Cost().LocalOpNs)
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// LocalUpdate rewrites every value of the calling rank's shard in place.
+func (t *Table[K, V]) LocalUpdate(r *xrt.Rank, fn func(k K, v V) V) {
+	sh := &t.shards[r.ID]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k, v := range sh.m {
+		r.Charge(t.team.Cost().LocalOpNs)
+		sh.m[k] = fn(k, v)
+	}
+}
+
+// LocalFilter rewrites or deletes every entry of the calling rank's shard:
+// fn returns the new value and whether to keep the entry.
+func (t *Table[K, V]) LocalFilter(r *xrt.Rank, fn func(k K, v V) (V, bool)) {
+	sh := &t.shards[r.ID]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k, v := range sh.m {
+		r.Charge(t.team.Cost().LocalOpNs)
+		if nv, keep := fn(k, v); keep {
+			sh.m[k] = nv
+		} else {
+			delete(sh.m, k)
+		}
+	}
+}
+
+// LocalLen returns the number of entries owned by the calling rank.
+func (t *Table[K, V]) LocalLen(r *xrt.Rank) int {
+	sh := &t.shards[r.ID]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.m)
+}
+
+// GlobalLen returns the total entry count; collective (all ranks must call).
+func (t *Table[K, V]) GlobalLen(r *xrt.Rank) int64 {
+	return r.AllReduceInt64(int64(t.LocalLen(r)), func(a, b int64) int64 { return a + b })
+}
+
+// Lookup reads a key from outside any SPMD phase (validation, output,
+// serial pipeline steps); no communication is charged.
+func (t *Table[K, V]) Lookup(k K) (V, bool) {
+	sh := &t.shards[t.Owner(k)]
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// RangeAll iterates every shard from a single goroutine. For use outside
+// Run phases (validation, output); no communication is charged.
+func (t *Table[K, V]) RangeAll(fn func(k K, v V) bool) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			if !fn(k, v) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

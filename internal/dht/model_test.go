@@ -1,0 +1,104 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+
+	"hipmer/internal/xrt"
+)
+
+// TestModelEquivalence drives the table with a random operation sequence
+// and checks the final state against a plain map executed with the same
+// merge semantics — a model-based property test of the DHT's visibility
+// and merge behaviour across buffer sizes and placements.
+func TestModelEquivalence(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		ranks := 1 + rng.Intn(8)
+		bufSize := []int{1, 3, 64, 1024}[rng.Intn(4)]
+		keyspace := 1 + rng.Intn(200)
+
+		var oracle *Oracle
+		opt := Options[uint64]{Hash: xrt.Splitmix64, AggBufSize: bufSize}
+		if rng.Intn(2) == 0 {
+			oracle = NewOracle(64+rng.Intn(512), ranks)
+			for k := 0; k < keyspace; k++ {
+				oracle.Assign(xrt.Splitmix64(uint64(k)), rng.Intn(ranks))
+			}
+			opt.Place = oracle.Place
+		}
+
+		team := xrt.NewTeam(xrt.Config{Ranks: ranks, RanksPerNode: 2})
+		tab := New[uint64, int64](team, opt, func(old, in int64, _ bool) int64 {
+			return old + in
+		})
+
+		// generate per-rank op scripts up front (the model is sequential)
+		model := make(map[uint64]int64)
+		scripts := make([][][2]uint64, ranks)
+		for r := 0; r < ranks; r++ {
+			n := rng.Intn(500)
+			for i := 0; i < n; i++ {
+				k := uint64(rng.Intn(keyspace))
+				v := uint64(1 + rng.Intn(10))
+				scripts[r] = append(scripts[r], [2]uint64{k, v})
+				model[k] += int64(v)
+			}
+		}
+
+		team.Run(func(r *xrt.Rank) {
+			for _, op := range scripts[r.ID] {
+				tab.Put(r, op[0], int64(op[1]))
+			}
+			tab.Flush(r)
+			r.Barrier()
+		})
+
+		got := make(map[uint64]int64)
+		tab.RangeAll(func(k uint64, v int64) bool {
+			got[k] = v
+			return true
+		})
+		if len(got) != len(model) {
+			t.Fatalf("trial %d: %d keys, model has %d", trial, len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("trial %d (ranks=%d buf=%d oracle=%v): key %d = %d, model %d",
+					trial, ranks, bufSize, oracle != nil, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestMutateModelEquivalence checks read-modify-write against the model
+// under concurrency: per-key sums must match regardless of interleaving.
+func TestMutateModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const ranks = 6
+	const keyspace = 40
+	team := xrt.NewTeam(xrt.Config{Ranks: ranks})
+	tab := New[uint64, int64](team, Options[uint64]{Hash: xrt.Splitmix64}, nil)
+	scripts := make([][][2]uint64, ranks)
+	model := make(map[uint64]int64)
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < 400; i++ {
+			k := uint64(rng.Intn(keyspace))
+			v := uint64(1 + rng.Intn(5))
+			scripts[r] = append(scripts[r], [2]uint64{k, v})
+			model[k] += int64(v)
+		}
+	}
+	team.Run(func(r *xrt.Rank) {
+		for _, op := range scripts[r.ID] {
+			tab.Mutate(r, op[0], func(v int64, _ bool) (int64, bool) {
+				return v + int64(op[1]), true
+			})
+		}
+	})
+	for k, want := range model {
+		if got, ok := tab.Lookup(k); !ok || got != want {
+			t.Fatalf("key %d = %d, want %d", k, got, want)
+		}
+	}
+}

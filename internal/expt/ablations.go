@@ -1,0 +1,177 @@
+package expt
+
+import (
+	"fmt"
+
+	"hipmer/internal/fastq"
+	"hipmer/internal/genome"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+// AblationBloomRow quantifies the Bloom screen's memory effect (§3.1:
+// "memory requirement reductions of up to 85% in human and wheat").
+type AblationBloomRow struct {
+	Dataset     string
+	PeakWith    int64 // hash-table entries after insertion, Bloom on
+	PeakWithout int64 // same with the screen disabled
+	SavedPct    float64
+	Kept        int64 // entries surviving the count filter
+	BloomBitsMB float64
+}
+
+// AblationBloom measures the hash-table high-water mark with and without
+// the Bloom screen on the human-like and wheat-like datasets.
+func AblationBloom(sc Scale) ([]AblationBloomRow, string) {
+	p := sc.Cores[len(sc.Cores)/2]
+	var rows []AblationBloomRow
+	for _, ds := range []string{"human", "wheat"} {
+		var libs []pipeline.Library
+		if ds == "human" {
+			_, libs = pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+		} else {
+			_, libs = pipeline.SimulatedWheat(sc.Seed+3, sc.WheatLen, sc.WheatCov)
+		}
+		parts := splitPairs(mergeLibs(libs), p)
+		run := func(disable bool) *kanalysis.Result {
+			team := xrt.NewTeam(sc.teamCfg(p))
+			return kanalysis.Run(team, parts, kanalysis.Options{
+				K: sc.K, MinCount: 2, HeavyHitters: true, DisableBloom: disable,
+			})
+		}
+		with := run(false)
+		without := run(true)
+		rows = append(rows, AblationBloomRow{
+			Dataset:     ds,
+			PeakWith:    with.PeakEntries,
+			PeakWithout: without.PeakEntries,
+			SavedPct:    100 * (1 - float64(with.PeakEntries)/float64(without.PeakEntries)),
+			Kept:        with.Kept,
+		})
+	}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Dataset,
+			fmt.Sprintf("%d", r.PeakWithout),
+			fmt.Sprintf("%d", r.PeakWith),
+			fmt.Sprintf("%.1f%%", r.SavedPct),
+			fmt.Sprintf("%d", r.Kept),
+		})
+	}
+	out := "Ablation — Bloom screen memory effect (§3.1: up to 85% reduction)\n" +
+		fmtTable([]string{"dataset", "peak entries (no Bloom)", "peak (Bloom)",
+			"saved", "kept after filter"}, tab)
+	return rows, out
+}
+
+// AblationAggRow quantifies the aggregating-stores optimization.
+type AblationAggRow struct {
+	BufSize int
+	Msgs    int64
+	TimeSec float64
+}
+
+// AblationAggStores sweeps the aggregating-stores buffer size during
+// k-mer analysis: buffer 1 is the fine-grained messaging the baselines
+// use; the message count and the resulting stage time fall with the
+// buffer, the optimization HipMer applies to every hash-table
+// construction (§4.1, §4.6).
+func AblationAggStores(sc Scale) ([]AblationAggRow, string) {
+	p := sc.Cores[len(sc.Cores)/2]
+	_, libs := pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+	parts := splitPairs(mergeLibs(libs), p)
+	var rows []AblationAggRow
+	for _, buf := range []int{1, 8, 64, 512, 4096} {
+		team := xrt.NewTeam(sc.teamCfg(p))
+		before := team.AggStats()
+		res := kanalysis.Run(team, parts, kanalysis.Options{
+			K: sc.K, MinCount: 2, HeavyHitters: true, AggBufSize: buf,
+		})
+		d := team.AggStats().Sub(before)
+		rows = append(rows, AblationAggRow{
+			BufSize: buf,
+			Msgs:    d.OnNodeMsgs + d.OffNodeMsgs,
+			TimeSec: (res.BloomPhase.Virtual + res.CountPhase.Virtual).Seconds(),
+		})
+	}
+	var tab [][]string
+	base := rows[0]
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.BufSize),
+			fmt.Sprintf("%d", r.Msgs),
+			fmt.Sprintf("%.3f", r.TimeSec),
+			fmt.Sprintf("%.1fx", base.TimeSec/r.TimeSec),
+		})
+	}
+	out := "Ablation — aggregating stores buffer size (k-mer table construction)\n" +
+		fmtTable([]string{"buffer", "messages", "time(s)", "speedup vs fine-grained"}, tab)
+	return rows, out
+}
+
+// AblationOracleRow sweeps oracle vector sizes, extending Tables 1–2.
+type AblationOracleRow struct {
+	SlotsPerKmer int
+	OffPct       float64
+	MemMB        float64
+}
+
+// AblationOracleMemory trades oracle memory against residual off-node
+// communication — the §3.2 memory/collision trade-off as a curve rather
+// than the paper's two points.
+func AblationOracleMemory(sc Scale) ([]AblationOracleRow, string) {
+	rng := xrt.NewPrng(sc.Seed + 1)
+	var g1, g2 [][]byte
+	for i := 0; i < sc.OracleFragments; i++ {
+		c := genome.Random(rng, 300+rng.Intn(500))
+		g1 = append(g1, c)
+		g2 = append(g2, genome.Mutate(rng, c, 0.002))
+	}
+	p := sc.Cores[len(sc.Cores)-1]
+	team1 := xrt.NewTeam(sc.teamCfg(p))
+	res1 := contigRun(team1, g1, sc.K, nil)
+	uu := int(res1.UUKmers)
+
+	var rows []AblationOracleRow
+	for _, mult := range []int{0, 1, 2, 4, 8, 16} {
+		var oracle oracleT
+		if mult > 0 {
+			oracle = buildOracle(res1, sc.K, p, mult*uu)
+		}
+		team := xrt.NewTeam(sc.teamCfg(p))
+		res := contigRun(team, g2, sc.K, oracle)
+		row := AblationOracleRow{
+			SlotsPerKmer: mult,
+			OffPct:       100 * res.TraversePhase.Comm.OffNodeLookupFrac(),
+		}
+		if oracle != nil {
+			row.MemMB = float64(oracle.MemoryBytes()) / 1e6
+		}
+		rows = append(rows, row)
+	}
+	var tab [][]string
+	for _, r := range rows {
+		label := "none"
+		if r.SlotsPerKmer > 0 {
+			label = fmt.Sprintf("%dx", r.SlotsPerKmer)
+		}
+		tab = append(tab, []string{
+			label,
+			fmt.Sprintf("%.2f", r.MemMB),
+			fmt.Sprintf("%.1f%%", r.OffPct),
+		})
+	}
+	out := "Ablation — oracle vector size vs residual off-node lookups (§3.2)\n" +
+		fmtTable([]string{"slots/k-mer", "memory(MB)", "off-node lookups"}, tab)
+	return rows, out
+}
+
+func mergeLibs(libs []pipeline.Library) []fastq.Record {
+	var recs []fastq.Record
+	for _, l := range libs {
+		recs = append(recs, l.Records...)
+	}
+	return recs
+}

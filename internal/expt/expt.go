@@ -1,0 +1,504 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation (§5) on scaled-down synthetic datasets: Figure 6 (heavy-
+// hitter k-mer analysis scaling on wheat), Tables 1–2 (communication-
+// avoiding traversal), Figure 7 (scaffolding strong scaling), Table 3
+// (metagenome k-mer analysis + contig generation), Figure 8 (end-to-end
+// strong scaling), and the §5.6 assembler comparison. Absolute times are
+// not comparable to the paper's Cray XC30 — the reproduced quantities are
+// the shapes: who wins, by what factor, and where scaling saturates.
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"hipmer/internal/fastq"
+	"hipmer/internal/genome"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+// Scale parameterizes the experiment suite.
+type Scale struct {
+	// Cores is the simulated-core sweep (strong scaling).
+	Cores []int
+	// RanksPerNode mirrors Edison's 24 cores/node.
+	RanksPerNode int
+	// Seed makes every dataset reproducible.
+	Seed int64
+	// K is the assembly k-mer length.
+	K int
+
+	HumanLen int
+	HumanCov float64
+	WheatLen int
+	WheatCov float64
+
+	MetaLen     int
+	MetaSpecies int
+	MetaPairs   int
+
+	// Fig6WheatLen sizes the wheat dataset for the k-mer-analysis-only
+	// Figure 6 run (larger than the end-to-end wheat genome, so the
+	// heavy-hitter k-mers reach the extreme counts of real wheat).
+	Fig6WheatLen int
+
+	// OracleFragments is the number of chromosome-scale pieces in the
+	// Table 1/2 same-species dataset.
+	OracleFragments int
+	// IOSatCores positions the file-system saturation point: the
+	// aggregate bandwidth equals IOSatCores x the single-rank bandwidth,
+	// so I/O time stops improving beyond that concurrency (Edison's
+	// Lustre saturated near 960 cores; scale it with the sweep).
+	IOSatCores int
+}
+
+// SmallScale is the default configuration: minutes of wall time on a
+// laptop, with every phenomenon of the paper still visible.
+func SmallScale() Scale {
+	return Scale{
+		Cores:           []int{24, 48, 96, 192},
+		RanksPerNode:    24,
+		Seed:            20151115, // SC'15 conference date
+		K:               31,
+		HumanLen:        250000,
+		HumanCov:        30,
+		WheatLen:        150000,
+		WheatCov:        25,
+		MetaLen:         150000,
+		MetaSpecies:     40,
+		MetaPairs:       25000,
+		Fig6WheatLen:    400000,
+		OracleFragments: 768,
+		IOSatCores:      48,
+	}
+}
+
+func (sc Scale) teamCfg(p int) xrt.Config {
+	cost := xrt.DefaultCostModel()
+	if sc.IOSatCores > 0 {
+		cost.IOAggBytesPerSec = cost.IORankBytesPerSec * float64(sc.IOSatCores)
+	}
+	return xrt.Config{Ranks: p, RanksPerNode: sc.RanksPerNode, Seed: sc.Seed, Cost: cost}
+}
+
+// splitPairs distributes interleaved pair records round-robin by pair.
+func splitPairs(recs []fastq.Record, p int) [][]fastq.Record {
+	parts := make([][]fastq.Record, p)
+	for i := 0; i+1 < len(recs); i += 2 {
+		r := (i / 2) % p
+		parts[r] = append(parts[r], recs[i], recs[i+1])
+	}
+	return parts
+}
+
+// commPct estimates the paper's "percentage of communication": the share
+// of the critical-path time not explained by perfectly balanced local
+// compute — i.e. message costs plus the wait caused by receiver-side load
+// imbalance, which is exactly what the heavy-hitter optimization removes.
+func commPct(elapsedNs float64, items int64, cost xrt.CostModel, p int) float64 {
+	perItem := 3*cost.ItemNs + 1.7*cost.LocalOpNs // 3 passes + owner applies
+	ideal := float64(items) * perItem / float64(p)
+	if elapsedNs <= 0 {
+		return 0
+	}
+	pct := 100 * (1 - ideal/elapsedNs)
+	if pct < 0 {
+		return 0
+	}
+	return pct
+}
+
+func fmtTable(header []string, rows [][]string) string {
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, h)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return buf.String()
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// ---------------------------------------------------------------------
+// Figure 6: strong scaling of k-mer analysis on wheat, Default vs Heavy
+// Hitters.
+
+// Fig6Row is one concurrency point of Figure 6.
+type Fig6Row struct {
+	Cores          int
+	IOSec          float64
+	DefaultSec     float64 // k-mer analysis time without the HH optimization
+	HeavyHitSec    float64 // with it
+	DefaultCommPct float64
+	HeavyHitPct    float64
+	HeavyHitters   int
+}
+
+// Fig6 regenerates Figure 6.
+func Fig6(sc Scale) ([]Fig6Row, string) {
+	rng := xrt.NewPrng(sc.Seed)
+	wlen := sc.Fig6WheatLen
+	if wlen == 0 {
+		wlen = 3 * sc.WheatLen
+	}
+	g := genome.WheatLike(rng, wlen)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: sc.WheatCov,
+		Lib:      genome.Library{Name: "wheat", ReadLen: 150, InsertMean: 500, InsertSD: 40},
+		Err:      genome.DefaultErrorModel(),
+	})
+	var inputBytes int64
+	for _, r := range recs {
+		inputBytes += int64(len(r.ID) + len(r.Seq) + len(r.Qual) + 6)
+	}
+
+	var rows []Fig6Row
+	for _, p := range sc.Cores {
+		row := Fig6Row{Cores: p}
+		parts := splitPairs(recs, p)
+		for _, hh := range []bool{false, true} {
+			team := xrt.NewTeam(sc.teamCfg(p))
+			io := team.Run(func(r *xrt.Rank) { r.ChargeIORead(inputBytes / int64(p)) })
+			res := kanalysis.Run(team, parts, kanalysis.Options{
+				K: sc.K, MinCount: 2, HeavyHitters: hh,
+			})
+			elapsed := res.SketchPhase.Virtual + res.BloomPhase.Virtual + res.CountPhase.Virtual
+			pct := commPct(float64(elapsed.Nanoseconds()), res.TotalKmers, team.Cost(), p)
+			if !hh {
+				row.DefaultSec = (elapsed + io.Virtual).Seconds()
+				row.DefaultCommPct = pct
+			} else {
+				row.HeavyHitSec = (elapsed + io.Virtual).Seconds()
+				row.HeavyHitPct = pct
+				row.HeavyHitters = res.HeavyHitters
+			}
+			if row.IOSec == 0 {
+				row.IOSec = io.Virtual.Seconds()
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.3f", r.DefaultSec),
+			fmt.Sprintf("%.3f", r.HeavyHitSec),
+			fmt.Sprintf("%.2fx", r.DefaultSec/r.HeavyHitSec),
+			fmt.Sprintf("%.0f%%", r.DefaultCommPct),
+			fmt.Sprintf("%.0f%%", r.HeavyHitPct),
+			fmt.Sprintf("%.3f", r.IOSec),
+			fmt.Sprintf("%d", r.HeavyHitters),
+		})
+	}
+	out := "Figure 6 — k-mer analysis strong scaling on wheat-like data\n" +
+		"(Default = owner-computes only; HH = Misra-Gries heavy hitters, θ=32000)\n" +
+		fmtTable([]string{"cores", "default(s)", "HH(s)", "speedup",
+			"comm%(def)", "comm%(HH)", "I/O(s)", "#HH"}, tab)
+	return rows, out
+}
+
+// ---------------------------------------------------------------------
+// Tables 1 and 2: communication-avoiding de Bruijn graph traversal.
+
+// OracleRow is one concurrency point of Tables 1/2.
+type OracleRow struct {
+	Cores                        int
+	NoOracleSec, O1Sec, O4Sec    float64
+	SpeedupO1, SpeedupO4         float64
+	OffPctNo, OffPctO1, OffPctO4 float64
+	ReductionO1, ReductionO4     float64
+	O1MemBytes, O4MemBytes       int64
+}
+
+// Tables12 regenerates Table 1 (traversal times and speedups) and
+// Table 2 (off-node communication and its reduction) in one sweep: the
+// first assembly of individual 1 provides the oracle used to traverse
+// individual 2 of the same species (0.2% diverged).
+func Tables12(sc Scale) ([]OracleRow, string, string) {
+	rng := xrt.NewPrng(sc.Seed + 1)
+	var g1, g2 [][]byte
+	for i := 0; i < sc.OracleFragments; i++ {
+		c := genome.Random(rng, 300+rng.Intn(500))
+		g1 = append(g1, c)
+		g2 = append(g2, genome.Mutate(rng, c, 0.002))
+	}
+	// use multi-node concurrencies: a single-node team has no off-node
+	// traffic to avoid (the paper's 480 and 1920 cores are 20 and 80 nodes)
+	concurrencies := []int{sc.Cores[len(sc.Cores)/2], sc.Cores[len(sc.Cores)-1]}
+
+	var rows []OracleRow
+	for _, p := range concurrencies {
+		row := OracleRow{Cores: p}
+		// individual 1 assembly provides contigs for the oracle
+		team1 := xrt.NewTeam(sc.teamCfg(p))
+		res1 := contigRun(team1, g1, sc.K, nil)
+		uu := int(res1.UUKmers)
+		o1 := buildOracle(res1, sc.K, p, 2*uu)
+		o4 := buildOracle(res1, sc.K, p, 8*uu)
+		row.O1MemBytes, row.O4MemBytes = o1.MemoryBytes(), o4.MemoryBytes()
+
+		type outcome struct {
+			sec    float64
+			offPct float64
+		}
+		// median of three runs: traversal conflict patterns vary with
+		// goroutine scheduling, and an occasional abort storm would
+		// otherwise distort a single measurement
+		measure := func(oracle oracleT) outcome {
+			var outs []outcome
+			for rep := 0; rep < 3; rep++ {
+				team := xrt.NewTeam(sc.teamCfg(p))
+				res := contigRun(team, g2, sc.K, oracle)
+				d := res.TraversePhase.Comm
+				outs = append(outs, outcome{
+					sec:    res.TraversePhase.Virtual.Seconds(),
+					offPct: 100 * d.OffNodeLookupFrac(),
+				})
+			}
+			sort.Slice(outs, func(i, j int) bool { return outs[i].sec < outs[j].sec })
+			return outs[1]
+		}
+		no := measure(nil)
+		w1 := measure(o1)
+		w4 := measure(o4)
+		row.NoOracleSec, row.O1Sec, row.O4Sec = no.sec, w1.sec, w4.sec
+		row.SpeedupO1 = no.sec / w1.sec
+		row.SpeedupO4 = no.sec / w4.sec
+		row.OffPctNo, row.OffPctO1, row.OffPctO4 = no.offPct, w1.offPct, w4.offPct
+		row.ReductionO1 = 100 * (1 - w1.offPct/no.offPct)
+		row.ReductionO4 = 100 * (1 - w4.offPct/no.offPct)
+		rows = append(rows, row)
+	}
+
+	var t1, t2 [][]string
+	for _, r := range rows {
+		t1 = append(t1, []string{
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.3f", r.NoOracleSec),
+			fmt.Sprintf("%.3f", r.O1Sec),
+			fmt.Sprintf("%.3f", r.O4Sec),
+			fmt.Sprintf("%.1fx", r.SpeedupO1),
+			fmt.Sprintf("%.1fx", r.SpeedupO4),
+		})
+		t2 = append(t2, []string{
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.1f%%", r.OffPctNo),
+			fmt.Sprintf("%.1f%%", r.OffPctO1),
+			fmt.Sprintf("%.1f%%", r.OffPctO4),
+			fmt.Sprintf("%.1f%%", r.ReductionO1),
+			fmt.Sprintf("%.1f%%", r.ReductionO4),
+		})
+	}
+	out1 := "Table 1 — communication-avoiding traversal speedup (same-species oracle)\n" +
+		fmtTable([]string{"cores", "no-oracle(s)", "oracle-1(s)", "oracle-4(s)",
+			"speedup-1", "speedup-4"}, t1)
+	out2 := "Table 2 — off-node lookups and reduction via oracle hash functions\n" +
+		fmtTable([]string{"cores", "off-node(no)", "off-node(o1)", "off-node(o4)",
+			"reduction-1", "reduction-4"}, t2)
+	return rows, out1, out2
+}
+
+// ---------------------------------------------------------------------
+// Figures 7 and 8 share one strong-scaling sweep of the full pipeline.
+
+// SweepRow is one (dataset, concurrency) pipeline execution.
+type SweepRow struct {
+	Dataset   string
+	Cores     int
+	IOSec     float64
+	KmerSec   float64
+	ContigSec float64
+	// Scaffolding decomposition (Figure 7).
+	AlignerSec  float64
+	GapCloseSec float64
+	RestScafSec float64
+	ScafSec     float64 // aligner + rest + gap closing
+	TotalSec    float64
+}
+
+// RunSweep executes the end-to-end pipeline over the core sweep for one
+// dataset.
+func RunSweep(sc Scale, dataset string) ([]SweepRow, error) {
+	var libs []pipeline.Library
+	switch dataset {
+	case "human":
+		_, libs = pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+	case "wheat":
+		_, libs = pipeline.SimulatedWheat(sc.Seed+3, sc.WheatLen, sc.WheatCov)
+	default:
+		return nil, fmt.Errorf("expt: unknown dataset %q", dataset)
+	}
+	var rows []SweepRow
+	for _, p := range sc.Cores {
+		team := xrt.NewTeam(sc.teamCfg(p))
+		res, err := pipeline.Run(team, libs, pipeline.Config{K: sc.K, MinCount: 3})
+		if err != nil {
+			return nil, err
+		}
+		scafSec := res.Timing("scaffolding").Virtual.Seconds() +
+			res.Timing("gap-closing").Virtual.Seconds()
+		alignSec := res.Timing("merAligner").Virtual.Seconds()
+		rows = append(rows, SweepRow{
+			Dataset:     dataset,
+			Cores:       p,
+			IOSec:       res.Timing("io").Virtual.Seconds(),
+			KmerSec:     res.Timing("kmer-analysis").Virtual.Seconds(),
+			ContigSec:   res.Timing("contig-generation").Virtual.Seconds(),
+			AlignerSec:  alignSec,
+			GapCloseSec: res.Timing("gap-closing").Virtual.Seconds(),
+			RestScafSec: res.Timing("scaffolding").Virtual.Seconds() - alignSec,
+			ScafSec:     scafSec,
+			TotalSec:    res.Timing("total").Virtual.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig7Format renders the Figure 7 view (scaffolding breakdown) of a sweep.
+func Fig7Format(rows []SweepRow) string {
+	var tab [][]string
+	base := rows[0]
+	for _, r := range rows {
+		eff := base.ScafSec / r.ScafSec * float64(base.Cores) / float64(r.Cores)
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.3f", r.AlignerSec),
+			fmt.Sprintf("%.3f", r.GapCloseSec),
+			fmt.Sprintf("%.3f", r.RestScafSec),
+			fmt.Sprintf("%.3f", r.ScafSec),
+			fmt.Sprintf("%.2f", eff),
+		})
+	}
+	return fmt.Sprintf("Figure 7 — scaffolding strong scaling (%s)\n", rows[0].Dataset) +
+		fmtTable([]string{"cores", "merAligner(s)", "gap-closing(s)",
+			"rest-scaffolding(s)", "overall(s)", "efficiency"}, tab)
+}
+
+// Fig8Format renders the Figure 8 view (end-to-end breakdown) of a sweep.
+func Fig8Format(rows []SweepRow) string {
+	var tab [][]string
+	base := rows[0]
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.3f", r.KmerSec),
+			fmt.Sprintf("%.3f", r.ContigSec),
+			fmt.Sprintf("%.3f", r.ScafSec),
+			fmt.Sprintf("%.3f", r.IOSec),
+			fmt.Sprintf("%.3f", r.TotalSec),
+			fmt.Sprintf("%.1fx", base.TotalSec/r.TotalSec),
+		})
+	}
+	return fmt.Sprintf("Figure 8 — end-to-end strong scaling (%s)\n", rows[0].Dataset) +
+		fmtTable([]string{"cores", "kmer(s)", "contig(s)", "scaffold(s)",
+			"io(s)", "total(s)", "speedup"}, tab)
+}
+
+// ---------------------------------------------------------------------
+// Table 3: metagenome k-mer analysis + contig generation.
+
+// Table3Row is one concurrency point of Table 3.
+type Table3Row struct {
+	Cores         int
+	KmerSec       float64
+	ContigSec     float64
+	IOSec         float64
+	SingletonFrac float64
+}
+
+// Table3 regenerates Table 3 on the synthetic wetlands metagenome,
+// running only through contig generation as the paper does.
+func Table3(sc Scale) ([]Table3Row, string) {
+	libs := pipeline.SimulatedMetagenome(sc.Seed+4, sc.MetaLen, sc.MetaSpecies, sc.MetaPairs)
+	concurrencies := []int{sc.Cores[len(sc.Cores)-2], sc.Cores[len(sc.Cores)-1]}
+	var rows []Table3Row
+	for _, p := range concurrencies {
+		team := xrt.NewTeam(sc.teamCfg(p))
+		res, err := pipeline.Run(team, libs, pipeline.Config{
+			K: sc.K, MinCount: 2, ContigsOnly: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Table3Row{
+			Cores:     p,
+			KmerSec:   res.Timing("kmer-analysis").Virtual.Seconds(),
+			ContigSec: res.Timing("contig-generation").Virtual.Seconds(),
+			IOSec:     res.Timing("io").Virtual.Seconds(),
+		})
+	}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.3f", r.KmerSec),
+			fmt.Sprintf("%.3f", r.ContigSec),
+			fmt.Sprintf("%.3f", r.IOSec),
+		})
+	}
+	out := "Table 3 — metagenome k-mer analysis and contig generation\n" +
+		"(I/O reported separately; it is saturated at both concurrencies)\n" +
+		fmtTable([]string{"cores", "k-mer analysis(s)", "contig generation(s)", "file I/O(s)"}, tab)
+	return rows, out
+}
+
+// ---------------------------------------------------------------------
+// §5.6: competing assemblers.
+
+// CompareRow is one assembler outcome in the §5.6 comparison.
+type CompareRow struct {
+	Name     string
+	TotalSec float64
+	VsHipMer float64
+}
+
+// Compare regenerates the §5.6 comparison at one concurrency.
+func Compare(sc Scale) ([]CompareRow, string) {
+	_, libs := pipeline.SimulatedHuman(sc.Seed+5, sc.HumanLen, sc.HumanCov)
+	p := sc.Cores[len(sc.Cores)/2]
+	cfg := sc.teamCfg(p)
+	pcfg := pipeline.Config{K: sc.K, MinCount: 3}
+
+	outcomes := runComparison(cfg, libs, pcfg)
+	var rows []CompareRow
+	hip := outcomes[0].Virtual.Seconds()
+	for _, o := range outcomes {
+		rows = append(rows, CompareRow{
+			Name:     o.Name,
+			TotalSec: o.Virtual.Seconds(),
+			VsHipMer: o.Virtual.Seconds() / hip,
+		})
+	}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.TotalSec),
+			fmt.Sprintf("%.1fx", r.VsHipMer),
+		})
+	}
+	out := fmt.Sprintf("§5.6 — competing assemblers at %d cores (human-like dataset)\n", p) +
+		fmtTable([]string{"assembler", "end-to-end(s)", "vs HipMer"}, tab)
+	return rows, out
+}

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"bytes"
+
+	"hipmer/internal/baseline"
+	"hipmer/internal/contig"
+	"hipmer/internal/dht"
+	"hipmer/internal/fastq"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+type oracleT = *dht.Oracle
+
+// contigRun builds a k-mer table directly from reference fragments (each
+// fed twice so the Bloom screen admits every k-mer) and traverses it —
+// the controlled setting of the Table 1/2 experiment, where the paper
+// also isolates graph traversal from the rest of the pipeline.
+func contigRun(team *xrt.Team, seqs [][]byte, k int, oracle oracleT) *contig.Result {
+	var recs []fastq.Record
+	for i, s := range seqs {
+		q := bytes.Repeat([]byte{'I'}, len(s))
+		id := []byte{byte('f'), byte(i >> 16), byte(i >> 8), byte(i)}
+		recs = append(recs, fastq.Record{ID: id, Seq: s, Qual: q},
+			fastq.Record{ID: append(id, 'b'), Seq: s, Qual: q})
+	}
+	p := team.Config().Ranks
+	parts := make([][]fastq.Record, p)
+	for i, rec := range recs {
+		parts[i%p] = append(parts[i%p], rec)
+	}
+	kres := kanalysis.Run(team, parts, kanalysis.Options{K: k, MinCount: 2})
+	return contig.Run(team, kres.Table, contig.Options{K: k, Oracle: oracle})
+}
+
+// buildOracle constructs the oracle partitioning vector from a previous
+// assembly's contigs.
+func buildOracle(res *contig.Result, k, ranks, slots int) oracleT {
+	if slots < 64 {
+		slots = 64
+	}
+	return contig.BuildOracle(res.All(), k, ranks, slots)
+}
+
+// runComparison executes HipMer plus the three baselines on one dataset.
+func runComparison(cfg xrt.Config, libs []pipeline.Library, pcfg pipeline.Config) []*baseline.Outcome {
+	var out []*baseline.Outcome
+	if o, err := baseline.RunHipMer(cfg, libs, pcfg); err == nil {
+		out = append(out, o)
+	}
+	if o, err := baseline.RunRayLike(cfg, libs, pcfg); err == nil {
+		out = append(out, o)
+	}
+	if o, err := baseline.RunAbyssLike(cfg, libs, pcfg); err == nil {
+		out = append(out, o)
+	}
+	if o, err := baseline.RunSerial(cfg.Cost, libs, pcfg); err == nil {
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package fasta reads and writes FASTA files for the command-line tools.
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one FASTA sequence.
+type Record struct {
+	Name string
+	Seq  []byte
+}
+
+// Write renders records with 80-column wrapping.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+			return err
+		}
+		for i := 0; i < len(r.Seq); i += 80 {
+			end := i + 80
+			if end > len(r.Seq) {
+				end = len(r.Seq)
+			}
+			if _, err := bw.Write(r.Seq[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes records to a file.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Parse reads all records from FASTA text.
+func Parse(data []byte) ([]Record, error) {
+	var recs []Record
+	var cur *Record
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimRight(line, "\r")
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			recs = append(recs, Record{Name: string(bytes.TrimSpace(line[1:]))})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fasta: sequence data before first header")
+		}
+		cur.Seq = append(cur.Seq, line...)
+	}
+	return recs, nil
+}
+
+// ReadFile parses a FASTA file.
+func ReadFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}

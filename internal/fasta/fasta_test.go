@@ -1,0 +1,77 @@
+package fasta
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Name: "seq1 description", Seq: bytes.Repeat([]byte("ACGT"), 50)},
+		{Name: "seq2", Seq: []byte("GGGCCC")},
+		{Name: "empty", Seq: nil},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i].Name != recs[i].Name || !bytes.Equal(got[i].Seq, recs[i].Seq) {
+			t.Fatalf("record %d mismatch: %q vs %q", i, got[i].Name, recs[i].Name)
+		}
+	}
+}
+
+func TestWrapping(t *testing.T) {
+	rec := Record{Name: "x", Seq: bytes.Repeat([]byte{'A'}, 200)}
+	var buf bytes.Buffer
+	if err := Write(&buf, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte{'\n'})
+	if len(lines) != 4 { // header + 80 + 80 + 40
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if len(lines[1]) != 80 || len(lines[3]) != 40 {
+		t.Fatalf("wrapping wrong: %d, %d", len(lines[1]), len(lines[3]))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("ACGT\n")); err == nil {
+		t.Fatal("sequence before header accepted")
+	}
+}
+
+func TestParseCRLF(t *testing.T) {
+	recs, err := Parse([]byte(">a\r\nACGT\r\nGGTT\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recs[0].Seq) != "ACGTGGTT" {
+		t.Fatalf("got %q", recs[0].Seq)
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "x.fasta")
+	recs := []Record{{Name: "chr1", Seq: []byte("ACGTACGT")}}
+	if err := WriteFile(p, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0].Seq, recs[0].Seq) {
+		t.Fatal("file roundtrip failed")
+	}
+}

@@ -1,0 +1,354 @@
+// Package fastq implements FASTQ parsing, writing, and the parallel block
+// reader of paper §3.3: the file is sampled to estimate record lengths,
+// split points are placed at even byte offsets, and each rank
+// fast-forwards from its split point to the next true record boundary so
+// that every read is parsed by exactly one rank. The partial record at a
+// rank's split point belongs to the preceding rank.
+package fastq
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one FASTQ read: identifier (without the '@'), sequence, and
+// per-base quality (phred+33).
+type Record struct {
+	ID   []byte
+	Seq  []byte
+	Qual []byte
+}
+
+// Validate checks structural invariants of the record.
+func (r Record) Validate() error {
+	if len(r.ID) == 0 {
+		return errors.New("fastq: empty record id")
+	}
+	if len(r.Seq) != len(r.Qual) {
+		return fmt.Errorf("fastq: read %s: sequence length %d != quality length %d",
+			r.ID, len(r.Seq), len(r.Qual))
+	}
+	return nil
+}
+
+// Append renders the record in 4-line FASTQ form onto dst.
+func (r Record) Append(dst []byte) []byte {
+	dst = append(dst, '@')
+	dst = append(dst, r.ID...)
+	dst = append(dst, '\n')
+	dst = append(dst, r.Seq...)
+	dst = append(dst, "\n+\n"...)
+	dst = append(dst, r.Qual...)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// Format renders records as FASTQ text.
+func Format(recs []Record) []byte {
+	var out []byte
+	for _, r := range recs {
+		out = r.Append(out)
+	}
+	return out
+}
+
+// Write writes records to w in FASTQ format.
+func Write(w io.Writer, recs []Record) error {
+	buf := make([]byte, 0, 1<<16)
+	for _, r := range recs {
+		buf = r.Append(buf)
+		if len(buf) > 1<<15 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Parser incrementally parses FASTQ text from a byte slice. Records
+// reference freshly copied storage so the input buffer may be reused.
+type Parser struct {
+	buf []byte
+	pos int
+}
+
+// NewParser parses the given FASTQ text.
+func NewParser(buf []byte) *Parser { return &Parser{buf: buf} }
+
+func (p *Parser) line() ([]byte, bool) {
+	if p.pos >= len(p.buf) {
+		return nil, false
+	}
+	i := bytes.IndexByte(p.buf[p.pos:], '\n')
+	var ln []byte
+	if i < 0 {
+		ln = p.buf[p.pos:]
+		p.pos = len(p.buf)
+	} else {
+		ln = p.buf[p.pos : p.pos+i]
+		p.pos += i + 1
+	}
+	if n := len(ln); n > 0 && ln[n-1] == '\r' {
+		ln = ln[:n-1]
+	}
+	return ln, true
+}
+
+// Next returns the next record. ok is false at end of input; a non-nil
+// error indicates malformed input.
+func (p *Parser) Next() (rec Record, ok bool, err error) {
+	// skip blank lines between records
+	var hdr []byte
+	for {
+		ln, more := p.line()
+		if !more {
+			return Record{}, false, nil
+		}
+		if len(ln) > 0 {
+			hdr = ln
+			break
+		}
+	}
+	if hdr[0] != '@' {
+		return Record{}, false, fmt.Errorf("fastq: expected '@' header, got %q", hdr)
+	}
+	seq, more := p.line()
+	if !more {
+		return Record{}, false, errors.New("fastq: truncated record (no sequence)")
+	}
+	plus, more := p.line()
+	if !more || len(plus) == 0 || plus[0] != '+' {
+		return Record{}, false, fmt.Errorf("fastq: expected '+' separator, got %q", plus)
+	}
+	qual, more := p.line()
+	if !more {
+		return Record{}, false, errors.New("fastq: truncated record (no quality)")
+	}
+	rec = Record{
+		ID:   append([]byte(nil), hdr[1:]...),
+		Seq:  append([]byte(nil), seq...),
+		Qual: append([]byte(nil), qual...),
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// ParseAll parses an entire FASTQ buffer.
+func ParseAll(buf []byte) ([]Record, error) {
+	p := NewParser(buf)
+	var out []Record
+	for {
+		rec, ok, err := p.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+// findRecordStart returns the offset within buf of the first byte of a
+// FASTQ record, or -1 if none can be confirmed. It is robust to quality
+// lines that begin with '@' or '+': a candidate header line is accepted
+// only if the line two below starts with '+' and the sequence/quality
+// line lengths agree.
+func findRecordStart(buf []byte, atBufStart bool) int {
+	for cand := 0; cand <= len(buf); {
+		var idx int
+		if cand == 0 && atBufStart {
+			idx = 0
+			if len(buf) == 0 || buf[0] != '@' {
+				cand = 1
+				continue
+			}
+		} else {
+			rel := bytes.Index(buf[cand:], []byte("\n@"))
+			if rel < 0 {
+				return -1
+			}
+			idx = cand + rel + 1
+		}
+		if confirmRecordAt(buf[idx:]) {
+			return idx
+		}
+		cand = idx + 1
+	}
+	return -1
+}
+
+// confirmRecordAt reports whether b begins with a structurally valid FASTQ
+// record header. It requires enough of the record to be present in b.
+func confirmRecordAt(b []byte) bool {
+	lines := make([][]byte, 0, 4)
+	pos := 0
+	for len(lines) < 4 && pos < len(b) {
+		i := bytes.IndexByte(b[pos:], '\n')
+		if i < 0 {
+			lines = append(lines, b[pos:])
+			pos = len(b)
+			break
+		}
+		lines = append(lines, b[pos:pos+i])
+		pos += i + 1
+	}
+	if len(lines) < 3 {
+		return false
+	}
+	if len(lines[0]) == 0 || lines[0][0] != '@' {
+		return false
+	}
+	if !isSeqLine(lines[1]) {
+		return false
+	}
+	if len(lines[2]) == 0 || lines[2][0] != '+' {
+		return false
+	}
+	if len(lines) >= 4 && pos <= len(b) {
+		// quality must match sequence length when fully present
+		q := lines[3]
+		if len(q) > 0 && q[len(q)-1] == '\r' {
+			q = q[:len(q)-1]
+		}
+		s := lines[1]
+		if len(s) > 0 && s[len(s)-1] == '\r' {
+			s = s[:len(s)-1]
+		}
+		// If the quality line was truncated by the buffer end, lengths may
+		// differ; only reject when the full line is visible.
+		fullQual := pos < len(b) || (pos == len(b) && len(b) > 0 && b[len(b)-1] == '\n')
+		if fullQual && len(q) != len(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func isSeqLine(ln []byte) bool {
+	if len(ln) > 0 && ln[len(ln)-1] == '\r' {
+		ln = ln[:len(ln)-1]
+	}
+	if len(ln) == 0 {
+		return false
+	}
+	for _, c := range ln {
+		switch c {
+		case 'A', 'C', 'G', 'T', 'N', 'a', 'c', 'g', 't', 'n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Splits computes the record-aligned partition of a FASTQ byte range into
+// parts pieces: the returned slice has parts+1 offsets; part i owns
+// [starts[i], starts[i+1]). Every record is owned by exactly one part. It
+// mirrors the paper's scheme: even byte offsets, then fast-forward to the
+// next record boundary ("the previous partial read is processed by the
+// neighboring processor").
+func Splits(ra io.ReaderAt, size int64, parts int) ([]int64, error) {
+	if parts < 1 {
+		return nil, errors.New("fastq: parts must be >= 1")
+	}
+	starts := make([]int64, parts+1)
+	starts[parts] = size
+	const window = 1 << 16
+	for i := 1; i < parts; i++ {
+		cand := size * int64(i) / int64(parts)
+		off := cand
+		found := int64(-1)
+		for off < size {
+			n := int64(window)
+			if off+n > size {
+				n = size - off
+			}
+			buf := make([]byte, n)
+			m, err := ra.ReadAt(buf, off)
+			if err != nil && err != io.EOF {
+				return nil, err
+			}
+			buf = buf[:m]
+			if idx := findRecordStart(buf, off == 0); idx >= 0 {
+				found = off + int64(idx)
+				break
+			}
+			if off+int64(m) >= size {
+				break
+			}
+			// overlap windows slightly so a boundary spanning the window
+			// edge is not missed
+			off += int64(m) - 256
+		}
+		if found < 0 {
+			found = size
+		}
+		starts[i] = found
+	}
+	// enforce monotonicity (tiny files can make later candidates collapse)
+	for i := 1; i <= parts; i++ {
+		if starts[i] < starts[i-1] {
+			starts[i] = starts[i-1]
+		}
+	}
+	return starts, nil
+}
+
+// ReadRange parses the records wholly contained in [lo, hi) of ra. lo must
+// be a record boundary produced by Splits.
+func ReadRange(ra io.ReaderAt, lo, hi int64) ([]Record, error) {
+	if hi <= lo {
+		return nil, nil
+	}
+	buf := make([]byte, hi-lo)
+	if _, err := ra.ReadAt(buf, lo); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return ParseAll(buf)
+}
+
+// File is a FASTQ file opened for parallel reading.
+type File struct {
+	f      *os.File
+	Size   int64
+	Starts []int64
+}
+
+// OpenSplit opens path and computes a parts-way record-aligned split.
+func OpenSplit(path string, parts int) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	starts, err := Splits(f, st.Size(), parts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{f: f, Size: st.Size(), Starts: starts}, nil
+}
+
+// ReadPart parses part i. Safe for concurrent use across parts.
+func (fl *File) ReadPart(i int) ([]Record, error) {
+	return ReadRange(fl.f, fl.Starts[i], fl.Starts[i+1])
+}
+
+// PartBytes returns the byte length of part i (for I/O cost charging).
+func (fl *File) PartBytes(i int) int64 { return fl.Starts[i+1] - fl.Starts[i] }
+
+// Close closes the underlying file.
+func (fl *File) Close() error { return fl.f.Close() }

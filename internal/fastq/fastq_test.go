@@ -1,0 +1,250 @@
+package fastq
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func randRecord(rng *rand.Rand, idLen, seqLen int) Record {
+	id := make([]byte, idLen)
+	for i := range id {
+		id[i] = byte('a' + rng.Intn(26))
+	}
+	seq := make([]byte, seqLen)
+	qual := make([]byte, seqLen)
+	for i := range seq {
+		seq[i] = "ACGTN"[rng.Intn(5)]
+		// quality deliberately includes '@' and '+' bytes, the classic
+		// FASTQ-splitting trap
+		qual[i] = byte(33 + rng.Intn(42))
+	}
+	return Record{ID: id, Seq: seq, Qual: qual}
+}
+
+func randRecords(rng *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = randRecord(rng, 1+rng.Intn(40), 1+rng.Intn(250))
+	}
+	return recs
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].ID, b[i].ID) || !bytes.Equal(a[i].Seq, b[i].Seq) ||
+			!bytes.Equal(a[i].Qual, b[i].Qual) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFormatParseRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := randRecords(rng, 200)
+	parsed, err := ParseAll(Format(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(recs, parsed) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestWriteMatchesFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := randRecords(rng, 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), Format(recs)) {
+		t.Fatal("Write output differs from Format")
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"no-at-sign\nACGT\n+\nIIII\n",
+		"@id\nACGT\nIIII\n",   // missing '+'
+		"@id\nACGT\n+\nIII\n", // quality length mismatch
+		"@id\nACGT\n+",        // truncated
+		"@id\nACGT",           // truncated
+	}
+	for _, c := range cases {
+		if _, err := ParseAll([]byte(c)); err == nil {
+			t.Errorf("accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestParserHandlesCRLFAndBlankLines(t *testing.T) {
+	in := "@id1\r\nACGT\r\n+\r\nIIII\r\n\n@id2\nGGCC\n+id2\nJJJJ\n"
+	recs, err := ParseAll([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Seq) != "ACGT" || string(recs[1].Seq) != "GGCC" {
+		t.Fatalf("parsed %v", recs)
+	}
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "reads.fastq")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSplitCoversEveryReadExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 50, 1000} {
+		recs := randRecords(rng, n)
+		path := writeTemp(t, Format(recs))
+		for _, parts := range []int{1, 2, 3, 7, 16, 64} {
+			fl, err := OpenSplit(path, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []Record
+			for i := 0; i < parts; i++ {
+				part, err := fl.ReadPart(i)
+				if err != nil {
+					t.Fatalf("n=%d parts=%d part %d: %v", n, parts, i, err)
+				}
+				all = append(all, part...)
+			}
+			fl.Close()
+			if !recordsEqual(recs, all) {
+				t.Fatalf("n=%d parts=%d: split lost or duplicated records (%d vs %d)",
+					n, parts, len(recs), len(all))
+			}
+		}
+	}
+}
+
+func TestSplitPropertyRandomFiles(t *testing.T) {
+	prop := func(seed int64, nRaw uint16, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 300
+		parts := int(partsRaw)%20 + 1
+		recs := randRecords(rng, n)
+		data := Format(recs)
+		starts, err := Splits(bytes.NewReader(data), int64(len(data)), parts)
+		if err != nil {
+			return false
+		}
+		var all []Record
+		for i := 0; i < parts; i++ {
+			part, err := ReadRange(bytes.NewReader(data), starts[i], starts[i+1])
+			if err != nil {
+				return false
+			}
+			all = append(all, part...)
+		}
+		return recordsEqual(recs, all)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitQualityLinesStartingWithAt(t *testing.T) {
+	// Adversarial file: every quality byte is '@', so every "\n@" except
+	// true record starts is a decoy.
+	var recs []Record
+	for i := 0; i < 200; i++ {
+		seq := bytes.Repeat([]byte{'A'}, 50)
+		qual := bytes.Repeat([]byte{'@'}, 50)
+		recs = append(recs, Record{ID: []byte(fmt.Sprintf("r%d", i)), Seq: seq, Qual: qual})
+	}
+	data := Format(recs)
+	for _, parts := range []int{2, 5, 13} {
+		starts, err := Splits(bytes.NewReader(data), int64(len(data)), parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []Record
+		for i := 0; i < parts; i++ {
+			part, err := ReadRange(bytes.NewReader(data), starts[i], starts[i+1])
+			if err != nil {
+				t.Fatalf("parts=%d: %v", parts, err)
+			}
+			all = append(all, part...)
+		}
+		if !recordsEqual(recs, all) {
+			t.Fatalf("parts=%d: adversarial quality lines broke the split", parts)
+		}
+	}
+}
+
+func TestSplitsMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	recs := randRecords(rng, 3)
+	data := Format(recs)
+	starts, err := Splits(bytes.NewReader(data), int64(len(data)), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			t.Fatalf("starts not monotonic: %v", starts)
+		}
+	}
+	if starts[0] != 0 || starts[len(starts)-1] != int64(len(data)) {
+		t.Fatalf("bad endpoints: %v", starts)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Record{ID: []byte("x"), Seq: []byte("ACGT"), Qual: []byte("III")}).Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := (Record{Seq: []byte("A"), Qual: []byte("I")}).Validate(); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := (Record{ID: []byte("x"), Seq: []byte("A"), Qual: []byte("I")}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	data := Format(randRecords(rng, 5000))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastqParallelRead(b *testing.B) {
+	// throughput of the full split-then-parse path at 16 parts
+	rng := rand.New(rand.NewSource(6))
+	data := Format(randRecords(rng, 20000))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		starts, err := Splits(bytes.NewReader(data), int64(len(data)), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := 0; p < 16; p++ {
+			if _, err := ReadRange(bytes.NewReader(data), starts[p], starts[p+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,467 @@
+// Package gapclose implements the final pipeline stage (paper §4.8):
+// assembling reads across the gaps between the contigs of scaffolds.
+// Read-to-contig alignments are projected into gaps in parallel; the gaps
+// are then distributed round-robin across ranks (breaking up the gaps of
+// any single scaffold, which tend to cost alike, to prevent load
+// imbalance) and closed by a succession of methods: spanning (a single
+// read bridges the gap), k-mer walks with iteratively increasing k
+// (mini-assembly, attempted from both sides), and finally patching (an
+// acceptable overlap between the two partial walks).
+package gapclose
+
+import (
+	"bytes"
+
+	"hipmer/internal/aligner"
+	"hipmer/internal/kmer"
+	"hipmer/internal/scaffold"
+	"hipmer/internal/xrt"
+)
+
+// Options configures gap closing.
+type Options struct {
+	// WalkK is the initial mini-assembly k-mer size (default 21).
+	WalkK int
+	// MaxWalkK bounds the iterative k escalation (default 41).
+	MaxWalkK int
+	// WalkKStep is the k increment between attempts (default 10).
+	WalkKStep int
+	// MinOverlap is the anchor length for spanning and patching (default 15).
+	MinOverlap int
+	// MinIdentity for patching overlaps (default 0.92).
+	MinIdentity float64
+	// FlankLen is how much flanking contig sequence is used (default 200).
+	FlankLen int
+	// MaxGapFactor bounds walk length to MaxGapFactor × estimated gap +
+	// a constant slack, protecting against runaway walks (default 3).
+	MaxGapFactor int
+	// MaxGapReads caps the read set projected into one gap (default 400):
+	// repeat-flanked gaps otherwise attract the reads of every repeat
+	// copy, making a single closure arbitrarily expensive.
+	MaxGapReads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WalkK <= 0 {
+		o.WalkK = 21
+	}
+	if o.MaxWalkK <= 0 {
+		o.MaxWalkK = 41
+	}
+	if o.WalkKStep <= 0 {
+		o.WalkKStep = 10
+	}
+	if o.MinOverlap <= 0 {
+		o.MinOverlap = 15
+	}
+	if o.MinIdentity <= 0 {
+		o.MinIdentity = 0.92
+	}
+	if o.FlankLen <= 0 {
+		o.FlankLen = 200
+	}
+	if o.MaxGapFactor <= 0 {
+		o.MaxGapFactor = 3
+	}
+	if o.MaxGapReads <= 0 {
+		o.MaxGapReads = 400
+	}
+	return o
+}
+
+// Method records how a gap was closed.
+type Method int
+
+const (
+	// Unclosed means every method failed; the gap remains as Ns.
+	Unclosed Method = iota
+	// Spanned: one read covered the whole gap.
+	Spanned
+	// Walked: a k-mer walk crossed the gap.
+	Walked
+	// Patched: two partial walks overlapped acceptably.
+	Patched
+)
+
+func (m Method) String() string {
+	switch m {
+	case Spanned:
+		return "spanned"
+	case Walked:
+		return "walked"
+	case Patched:
+		return "patched"
+	default:
+		return "unclosed"
+	}
+}
+
+// gapID addresses one gap: scaffold index and member index of the member
+// after the gap.
+type gapID struct {
+	scaf int
+	mem  int
+}
+
+// gapState is the working record for one gap.
+type gapState struct {
+	id          gapID
+	left, right []byte // flanks oriented in scaffold direction
+	est         int    // estimated gap size
+	reads       [][]byte
+}
+
+// Result reports gap closing outcomes.
+type Result struct {
+	Gaps, Closed                      int
+	BySpanning, ByWalking, ByPatching int
+	// ScaffoldSeqs are the final sequences, closures spliced in.
+	ScaffoldSeqs [][]byte
+	Phase        xrt.PhaseStats
+}
+
+// Run closes the gaps of the scaffolding result. libs must be the same
+// libraries (same rank distribution) used during scaffolding.
+func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
+	opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+	p := team.Config().Ranks
+
+	// enumerate gaps and index them by adjacent contig end
+	var gaps []*gapState
+	gapAt := make(map[gapEndKey]int) // (contigID, contig-frame end) → gap index
+	for si, s := range scafRes.Scaffolds {
+		for mi := 1; mi < len(s.Members); mi++ {
+			prev, cur := s.Members[mi-1], s.Members[mi]
+			if cur.GapBefore <= 0 {
+				continue
+			}
+			pc, cc := scafRes.Contigs[prev.ContigID], scafRes.Contigs[cur.ContigID]
+			left := orient(pc.Seq, prev.Flipped)
+			right := orient(cc.Seq, cur.Flipped)
+			g := &gapState{
+				id:   gapID{si, mi},
+				left: tail(left, opt.FlankLen), right: head(right, opt.FlankLen),
+				est: cur.GapBefore,
+			}
+			idx := len(gaps)
+			gaps = append(gaps, g)
+			gapAt[gapEndKey{prev.ContigID, exitEnd(prev)}] = idx
+			gapAt[gapEndKey{cur.ContigID, entryEnd(cur)}] = idx
+		}
+	}
+	res.Gaps = len(gaps)
+
+	// project reads into gaps: any pair whose top alignment sits within
+	// insert distance of a gap-adjacent contig end contributes both mates
+	type tagged struct {
+		gap int
+		seq []byte
+	}
+	taggedByRank := make([][]tagged, p)
+	team.Run(func(r *xrt.Rank) {
+		var mine []tagged
+		for li, lib := range libs {
+			insert := int(scafRes.InsertMean[li])
+			if insert <= 0 {
+				insert = 500
+			}
+			alns := scafRes.Alignments[li][r.ID]
+			reads := lib.ReadsByRank[r.ID]
+			for i := 0; i+1 < len(alns); i += 2 {
+				gi := -1
+				for _, as := range [][]aligner.Alignment{alns[i], alns[i+1]} {
+					if len(as) == 0 {
+						continue
+					}
+					a := as[0]
+					// near either end of its contig?
+					if a.CStart < insert {
+						if idx, ok := gapAt[gapEndKey{a.ContigID, scaffold.EndL}]; ok {
+							gi = idx
+						}
+					}
+					if a.ContigLen-a.CEnd < insert {
+						if idx, ok := gapAt[gapEndKey{a.ContigID, scaffold.EndR}]; ok {
+							gi = idx
+						}
+					}
+				}
+				if gi >= 0 {
+					mine = append(mine,
+						tagged{gi, reads[i].Seq}, tagged{gi, reads[i+1].Seq})
+					r.ChargeItems(2)
+				}
+			}
+		}
+		taggedByRank[r.ID] = mine
+		r.Barrier()
+	})
+	for _, ts := range taggedByRank {
+		for _, t := range ts {
+			if len(gaps[t.gap].reads) < opt.MaxGapReads {
+				gaps[t.gap].reads = append(gaps[t.gap].reads, t.seq)
+			}
+		}
+	}
+
+	// close gaps, round-robin across ranks (§4.8 load-balance strategy)
+	type closure struct {
+		method Method
+		seq    []byte
+	}
+	closures := make([]closure, len(gaps))
+	res.Phase = team.Run(func(r *xrt.Rank) {
+		for gi := r.ID; gi < len(gaps); gi += p {
+			g := gaps[gi]
+			m, seq, work := closeGap(g, opt)
+			closures[gi] = closure{m, seq}
+			// closure methods differ in computational intensity by orders
+			// of magnitude (§4.8); charge the bases actually scanned
+			r.ChargeItems(work + 64)
+		}
+		r.Barrier()
+	})
+	for _, c := range closures {
+		switch c.method {
+		case Spanned:
+			res.BySpanning++
+		case Walked:
+			res.ByWalking++
+		case Patched:
+			res.ByPatching++
+		}
+	}
+	res.Closed = res.BySpanning + res.ByWalking + res.ByPatching
+
+	// splice closures into final scaffold sequences
+	gapIdxByID := make(map[gapID]int)
+	for i, g := range gaps {
+		gapIdxByID[g.id] = i
+	}
+	for si, s := range scafRes.Scaffolds {
+		var out []byte
+		for mi, m := range s.Members {
+			sc := scafRes.Contigs[m.ContigID]
+			seq := orient(sc.Seq, m.Flipped)
+			if mi == 0 {
+				out = append(out, seq...)
+				continue
+			}
+			if gi, ok := gapIdxByID[gapID{si, mi}]; ok && closures[gi].method != Unclosed {
+				out = append(out, closures[gi].seq...)
+				out = append(out, seq...)
+				continue
+			}
+			// fall back to the scaffold-level join (Ns or splint overlap)
+			out = appendWithGap(out, seq, m.GapBefore)
+		}
+		res.ScaffoldSeqs = append(res.ScaffoldSeqs, out)
+	}
+	return res
+}
+
+type gapEndKey struct {
+	contig int64
+	end    byte
+}
+
+func exitEnd(m scaffold.Member) byte {
+	if m.Flipped {
+		return scaffold.EndL
+	}
+	return scaffold.EndR
+}
+
+func entryEnd(m scaffold.Member) byte {
+	if m.Flipped {
+		return scaffold.EndR
+	}
+	return scaffold.EndL
+}
+
+func orient(s []byte, flipped bool) []byte {
+	if flipped {
+		return kmer.RevCompString(s)
+	}
+	return s
+}
+
+func tail(s []byte, n int) []byte {
+	if len(s) > n {
+		return s[len(s)-n:]
+	}
+	return s
+}
+
+func head(s []byte, n int) []byte {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func appendWithGap(out, seq []byte, gap int) []byte {
+	if gap > 0 {
+		for j := 0; j < gap; j++ {
+			out = append(out, 'N')
+		}
+		return append(out, seq...)
+	}
+	// Only merge overlaps long enough for exact matching to verify; short
+	// "matches" succeed by chance and would shift the downstream frame.
+	const minVerifiedOverlap = 16
+	ov := -gap
+	if ov >= minVerifiedOverlap && ov <= len(out) && ov <= len(seq) &&
+		bytes.Equal(out[len(out)-ov:], seq[:ov]) {
+		return append(out, seq[ov:]...)
+	}
+	out = append(out, 'N')
+	return append(out, seq...)
+}
+
+// closeGap tries the closure methods in order of computational cost. The
+// returned work is the number of read bases scanned, used for cost
+// accounting: spanning is orders of magnitude cheaper than k-mer walks,
+// which is exactly why the paper distributes gaps round-robin.
+func closeGap(g *gapState, opt Options) (Method, []byte, int) {
+	if len(g.left) < opt.MinOverlap || len(g.right) < opt.MinOverlap {
+		return Unclosed, nil, 0
+	}
+	readBases := 0
+	for _, rd := range g.reads {
+		readBases += len(rd)
+	}
+	work := readBases // spanning scan
+	if seq, ok := trySpanning(g, opt); ok {
+		return Spanned, seq, work
+	}
+	maxLen := g.est*opt.MaxGapFactor + 200
+	var bestL, bestR []byte
+	for k := opt.WalkK; k <= opt.MaxWalkK; k += opt.WalkKStep {
+		work += 3 * readBases // mini de Bruijn build + two directed walks
+		counts := kmerCounts(g.reads, k)
+		if seq, partial, ok := walkAcross(g.left, g.right, counts, k, maxLen); ok {
+			return Walked, seq, work
+		} else if len(partial) > len(bestL) {
+			bestL = partial
+		}
+		// right-to-left: walk the reverse complement problem
+		rl := kmer.RevCompString(g.right)
+		rr := kmer.RevCompString(g.left)
+		if seq, partial, ok := walkAcross(rl, rr, counts, k, maxLen); ok {
+			return Walked, kmer.RevCompString(seq), work
+		} else if len(partial) > len(bestR) {
+			bestR = partial
+		}
+	}
+	// patching: overlap the two partial walks (left-extension vs the
+	// reverse complement of the right-extension)
+	if len(bestL) > 0 && len(bestR) > 0 {
+		work += (len(g.left) + len(bestL)) * 8 // banded overlap DP
+		a := append(append([]byte(nil), g.left...), bestL...)
+		b := append(kmer.RevCompString(bestR), g.right...)
+		if o, ok := aligner.BestOverlap(a, b, opt.MinOverlap, opt.MinIdentity); ok {
+			// closure = bestL + (b after the overlap, before right flank)
+			joined := append(append([]byte(nil), a...), b[o.LenB:]...)
+			// extract the part strictly between the flanks
+			if len(joined) >= len(g.left)+len(g.right) {
+				seq := joined[len(g.left) : len(joined)-len(g.right)]
+				return Patched, append([]byte(nil), seq...), work
+			}
+		}
+	}
+	return Unclosed, nil, work
+}
+
+// trySpanning looks for a single read that contains the end of the left
+// flank and the start of the right flank in order (§4.8 method 1).
+func trySpanning(g *gapState, opt Options) ([]byte, bool) {
+	la := tail(g.left, opt.MinOverlap)
+	ra := head(g.right, opt.MinOverlap)
+	for _, rd := range g.reads {
+		for _, seq := range [][]byte{rd, kmer.RevCompString(rd)} {
+			li := bytes.Index(seq, la)
+			if li < 0 {
+				continue
+			}
+			ri := bytes.Index(seq[li+len(la):], ra)
+			if ri < 0 {
+				continue
+			}
+			gapStart := li + len(la)
+			return append([]byte(nil), seq[gapStart:gapStart+ri]...), true
+		}
+	}
+	return nil, false
+}
+
+// kmerCounts builds the mini de Bruijn extension counts from the gap's
+// reads (both strands).
+func kmerCounts(reads [][]byte, k int) map[string][4]int {
+	counts := make(map[string][4]int)
+	add := func(seq []byte) {
+		for i := 0; i+k < len(seq); i++ {
+			w := string(seq[i : i+k])
+			c, ok := kmer.BaseCode(seq[i+k])
+			if !ok {
+				continue
+			}
+			arr := counts[w]
+			arr[c]++
+			counts[w] = arr
+		}
+	}
+	for _, rd := range reads {
+		add(rd)
+		add(kmer.RevCompString(rd))
+	}
+	return counts
+}
+
+// walkAcross greedily extends from the left flank's final k bases,
+// choosing the dominant extension at each step, until the right flank's
+// anchor is reached (closure found), the walk dead-ends, or maxLen is
+// exceeded. It returns the closure (bases strictly between the flanks) on
+// success, else the partial extension.
+func walkAcross(left, right []byte, counts map[string][4]int, k, maxLen int) (
+	closure []byte, partial []byte, ok bool) {
+	if len(left) < k || len(right) < k {
+		return nil, nil, false
+	}
+	anchor := string(right[:k])
+	cur := append([]byte(nil), left[len(left)-k:]...)
+	var walked []byte
+	for len(walked) < maxLen+k {
+		w := string(cur)
+		if w == anchor {
+			// reached the right flank: closure excludes the anchor bases
+			n := len(walked) - k
+			if n < 0 {
+				n = 0
+			}
+			return append([]byte(nil), walked[:n]...), nil, true
+		}
+		arr, exists := counts[w]
+		if !exists {
+			return nil, walked, false
+		}
+		// dominant extension: best count must be unambiguous
+		bi, bc, sc := -1, 0, 0
+		for b, c := range arr {
+			if c > bc {
+				bi, sc, bc = b, bc, c
+			} else if c > sc {
+				sc = c
+			}
+		}
+		if bi < 0 || bc == 0 || bc == sc {
+			return nil, walked, false
+		}
+		nb := kmer.CodeBase(uint64(bi))
+		walked = append(walked, nb)
+		cur = append(cur[1:], nb)
+	}
+	return nil, walked, false
+}

@@ -1,0 +1,312 @@
+// Package genome synthesizes the evaluation datasets of the paper, scaled
+// down: a "human-like" genome (mostly unique sequence, modest segmental
+// duplication, diploid heterozygosity ~0.1%), a "wheat-like" genome
+// (highly repetitive, with repeat families whose k-mers occur thousands of
+// times — the skewed frequency distribution that motivates the heavy-
+// hitter optimization of §3.1), and a metagenome (many species with
+// log-normal abundances, producing the flat k-mer histogram of §5.4).
+// It also provides the paired-end short-read simulator with positional
+// error rates and phred+33 qualities.
+package genome
+
+import (
+	"fmt"
+	"math"
+
+	"hipmer/internal/fastq"
+	"hipmer/internal/kmer"
+	"hipmer/internal/xrt"
+)
+
+// Genome is one synthesized reference sequence.
+type Genome struct {
+	Name string
+	Seq  []byte
+}
+
+// Random returns n bases of uniform random sequence.
+func Random(rng *xrt.Prng, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+// HumanLike synthesizes a genome of length ~n that is mostly unique
+// (matching the paper's observation that ~95% of human k-mers are
+// singletons at the read level) but carries the two repeat classes that
+// shape real human short-read assemblies: Alu-like interspersed elements
+// (~300 bp, ~1% diverged copies every few kb — these break contigs and
+// make paired-end scaffolding necessary, exactly the role they play in
+// real data) and a few longer segmental duplications.
+func HumanLike(rng *xrt.Prng, n int) []byte {
+	g := make([]byte, 0, n+4096)
+	alu := Random(rng, 300)
+	var segs [][]byte
+	for i := 0; i < 4; i++ {
+		segs = append(segs, Random(rng, 500+rng.Intn(1500)))
+	}
+	for len(g) < n {
+		x := rng.Float64()
+		switch {
+		case x < 0.02 && len(segs) > 0:
+			seg := segs[rng.Intn(len(segs))]
+			g = append(g, mutate(rng, seg, 0.01)...)
+		default:
+			g = append(g, Random(rng, 1200+rng.Intn(1800))...)
+			g = append(g, mutate(rng, alu, 0.01)...)
+		}
+	}
+	return g[:n]
+}
+
+// WheatLike synthesizes a highly repetitive genome reproducing the
+// hexaploid-wheat pathology of §3.1 (2,000 k-mers occurring more than
+// half a million times): most of the sequence consists of copies drawn
+// from a few transposon-like repeat families with a power-law copy
+// distribution, and ~8% consists of short-motif tandem-repeat runs
+// (microsatellites), whose few distinct k-mers reach enormous counts and
+// concentrate on single owner ranks — the load imbalance the heavy-hitter
+// optimization exists to fix.
+func WheatLike(rng *xrt.Prng, n int) []byte {
+	const repeatFrac = 0.70
+	const tandemFrac = 0.08
+	type family struct {
+		seq    []byte
+		weight float64
+	}
+	fams := make([]family, 8)
+	w := 1.0
+	total := 0.0
+	for i := range fams {
+		fams[i] = family{seq: Random(rng, 400+rng.Intn(2000)), weight: w}
+		total += w
+		w *= 0.45 // power-law-ish copy counts
+	}
+	motifs := make([][]byte, 3)
+	for i := range motifs {
+		motifs[i] = Random(rng, 2+rng.Intn(5))
+	}
+	g := make([]byte, 0, n+4096)
+	for len(g) < n {
+		x := rng.Float64()
+		switch {
+		case x < tandemFrac:
+			motif := motifs[rng.Intn(len(motifs))]
+			runLen := 800 + rng.Intn(2000)
+			for j := 0; j < runLen; j++ {
+				g = append(g, motif[j%len(motif)])
+			}
+		case x < tandemFrac+repeatFrac:
+			idx := 0
+			y := rng.Float64() * total
+			for acc := fams[0].weight; y > acc && idx < len(fams)-1; {
+				idx++
+				acc += fams[idx].weight
+			}
+			// copies carry light divergence, as real transposons do
+			g = append(g, mutate(rng, fams[idx].seq, 0.002)...)
+		default:
+			g = append(g, Random(rng, 300+rng.Intn(1200))...)
+		}
+	}
+	return g[:n]
+}
+
+// Metagenome synthesizes nSpecies genomes whose sizes and abundances are
+// log-normally distributed, totalling ~n bases of reference sequence.
+// The returned abundances are relative read-sampling weights.
+func Metagenome(rng *xrt.Prng, n, nSpecies int) (genomes []Genome, abundance []float64) {
+	if nSpecies < 1 {
+		nSpecies = 1
+	}
+	sizes := make([]float64, nSpecies)
+	var sum float64
+	for i := range sizes {
+		sizes[i] = math.Exp(rng.NormFloat64() * 0.8)
+		sum += sizes[i]
+	}
+	for i := range sizes {
+		sz := int(sizes[i] / sum * float64(n))
+		if sz < 2000 {
+			sz = 2000
+		}
+		genomes = append(genomes, Genome{
+			Name: fmt.Sprintf("species%03d", i),
+			Seq:  Random(rng, sz),
+		})
+		abundance = append(abundance, math.Exp(rng.NormFloat64()*1.2))
+	}
+	return genomes, abundance
+}
+
+// Mutate returns a copy of g with SNPs introduced at the given rate; used
+// both for diploid second haplotypes and for the "another individual of
+// the same species" scenario of the oracle experiments (§3.2: humans
+// differ in 0.1–0.4% of base pairs).
+func Mutate(rng *xrt.Prng, g []byte, rate float64) []byte {
+	return mutate(rng, g, rate)
+}
+
+func mutate(rng *xrt.Prng, g []byte, rate float64) []byte {
+	out := append([]byte(nil), g...)
+	for i := range out {
+		if rng.Float64() < rate {
+			c, _ := kmer.BaseCode(out[i])
+			out[i] = kmer.CodeBase((c + 1 + uint64(rng.Intn(3))) % 4)
+		}
+	}
+	return out
+}
+
+// Library describes one paired-end read library (§5: the human data has a
+// 395bp-insert library; wheat adds long-insert 1kbp and 4.2kbp libraries).
+type Library struct {
+	Name       string
+	ReadLen    int
+	InsertMean int
+	InsertSD   int
+}
+
+// ErrorModel gives the per-base substitution error probability, rising
+// linearly from StartRate at the 5' end to EndRate at the 3' end, as on
+// real Illumina instruments. Qualities reflect the modelled rate.
+type ErrorModel struct {
+	StartRate float64
+	EndRate   float64
+}
+
+// DefaultErrorModel matches a well-behaved short-read run.
+func DefaultErrorModel() ErrorModel { return ErrorModel{StartRate: 0.001, EndRate: 0.01} }
+
+func (e ErrorModel) rate(i, readLen int) float64 {
+	if readLen <= 1 {
+		return e.StartRate
+	}
+	return e.StartRate + (e.EndRate-e.StartRate)*float64(i)/float64(readLen-1)
+}
+
+func (e ErrorModel) qualChar(i, readLen int) byte {
+	r := e.rate(i, readLen)
+	if r <= 0 {
+		return 33 + 41
+	}
+	q := int(-10 * math.Log10(r))
+	if q > 41 {
+		q = 41
+	}
+	if q < 2 {
+		q = 2
+	}
+	return byte(33 + q)
+}
+
+// PairTruth records where a simulated pair really came from, for tests.
+type PairTruth struct {
+	GenomeIdx int
+	Pos       int  // leftmost genome coordinate of the fragment
+	Insert    int  // fragment length
+	Flipped   bool // fragment drawn from the reverse strand
+}
+
+// SimOptions configures read simulation.
+type SimOptions struct {
+	Coverage float64
+	Lib      Library
+	Err      ErrorModel
+	// Haplotypes: additional haplotype sequences sampled uniformly along
+	// with the primary genome (diploid organisms pass one mutated copy).
+	Haplotypes [][]byte
+}
+
+// SimulatePairs generates paired-end reads at the requested coverage from
+// genome g (and any extra haplotypes). Records are interleaved: the reads
+// of pair i are records 2i ("/1", forward) and 2i+1 ("/2", reverse
+// complemented), the standard Illumina FR layout.
+func SimulatePairs(rng *xrt.Prng, g []byte, opt SimOptions) ([]fastq.Record, []PairTruth) {
+	seqs := append([][]byte{g}, opt.Haplotypes...)
+	L := opt.Lib.ReadLen
+	if L <= 0 {
+		panic("genome: library read length must be positive")
+	}
+	nPairs := int(opt.Coverage * float64(len(g)) / float64(2*L))
+	recs := make([]fastq.Record, 0, 2*nPairs)
+	truth := make([]PairTruth, 0, nPairs)
+	for i := 0; i < nPairs; i++ {
+		hap := rng.Intn(len(seqs))
+		src := seqs[hap]
+		ins := opt.Lib.InsertMean
+		if opt.Lib.InsertSD > 0 {
+			ins += int(rng.NormFloat64() * float64(opt.Lib.InsertSD))
+		}
+		if ins < L {
+			ins = L
+		}
+		if ins > len(src) {
+			ins = len(src)
+		}
+		pos := rng.Intn(len(src) - ins + 1)
+		frag := src[pos : pos+ins]
+		flipped := rng.Float64() < 0.5
+		if flipped {
+			frag = kmer.RevCompString(frag)
+		}
+		r1 := applyErrors(rng, frag[:L], opt.Err)
+		r2 := applyErrors(rng, kmer.RevCompString(frag[len(frag)-L:]), opt.Err)
+		base := fmt.Sprintf("%s:%d:%d:%d:%t", opt.Lib.Name, i, pos, ins, flipped)
+		recs = append(recs,
+			fastq.Record{ID: []byte(base + "/1"), Seq: r1.seq, Qual: r1.qual},
+			fastq.Record{ID: []byte(base + "/2"), Seq: r2.seq, Qual: r2.qual},
+		)
+		truth = append(truth, PairTruth{GenomeIdx: hap, Pos: pos, Insert: ins, Flipped: flipped})
+	}
+	return recs, truth
+}
+
+// SimulateMetagenome samples pairs across species proportionally to
+// abundance × genome size.
+func SimulateMetagenome(rng *xrt.Prng, genomes []Genome, abundance []float64,
+	totalPairs int, lib Library, em ErrorModel) []fastq.Record {
+	weights := make([]float64, len(genomes))
+	var sum float64
+	for i := range genomes {
+		weights[i] = abundance[i] * float64(len(genomes[i].Seq))
+		sum += weights[i]
+	}
+	var recs []fastq.Record
+	for i := range genomes {
+		pairs := int(weights[i] / sum * float64(totalPairs))
+		if pairs == 0 {
+			continue
+		}
+		cov := float64(2*pairs*lib.ReadLen) / float64(len(genomes[i].Seq))
+		r, _ := SimulatePairs(rng, genomes[i].Seq, SimOptions{
+			Coverage: cov,
+			Lib: Library{Name: fmt.Sprintf("%s.%s", lib.Name, genomes[i].Name),
+				ReadLen: lib.ReadLen, InsertMean: lib.InsertMean, InsertSD: lib.InsertSD},
+			Err: em,
+		})
+		recs = append(recs, r...)
+	}
+	return recs
+}
+
+type simRead struct {
+	seq, qual []byte
+}
+
+func applyErrors(rng *xrt.Prng, src []byte, em ErrorModel) simRead {
+	seq := append([]byte(nil), src...)
+	qual := make([]byte, len(seq))
+	for i := range seq {
+		qual[i] = em.qualChar(i, len(seq))
+		if rng.Float64() < em.rate(i, len(seq)) {
+			c, ok := kmer.BaseCode(seq[i])
+			if ok {
+				seq[i] = kmer.CodeBase((c + 1 + uint64(rng.Intn(3))) % 4)
+			}
+		}
+	}
+	return simRead{seq: seq, qual: qual}
+}

@@ -1,0 +1,261 @@
+package genome
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hipmer/internal/kmer"
+	"hipmer/internal/xrt"
+)
+
+func TestRandomComposition(t *testing.T) {
+	rng := xrt.NewPrng(1)
+	g := Random(rng, 100000)
+	var counts [4]int
+	for _, b := range g {
+		c, ok := kmer.BaseCode(b)
+		if !ok {
+			t.Fatalf("invalid base %c", b)
+		}
+		counts[c]++
+	}
+	for i, c := range counts {
+		if c < 23000 || c > 27000 {
+			t.Fatalf("base %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+// kmerHistogram counts canonical k-mer multiplicities within a genome.
+func kmerHistogram(g []byte, k int) map[kmer.Kmer]int {
+	h := make(map[kmer.Kmer]int)
+	kmer.ForEach(g, k, func(pos int, km kmer.Kmer) {
+		c, _ := km.Canonical(k)
+		h[c]++
+	})
+	return h
+}
+
+func TestWheatLikeIsSkewed(t *testing.T) {
+	rng := xrt.NewPrng(2)
+	const k = 21
+	wheat := kmerHistogram(WheatLike(rng, 400000), k)
+	human := kmerHistogram(HumanLike(rng, 400000), k)
+	maxOf := func(h map[kmer.Kmer]int) int {
+		m := 0
+		for _, c := range h {
+			if c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	wMax, hMax := maxOf(wheat), maxOf(human)
+	if wMax < 20*hMax {
+		t.Fatalf("wheat max k-mer count %d not much larger than human %d", wMax, hMax)
+	}
+	if wMax < 50 {
+		t.Fatalf("wheat-like genome lacks heavy hitters: max count %d", wMax)
+	}
+}
+
+func TestHumanLikeMostlyUnique(t *testing.T) {
+	rng := xrt.NewPrng(3)
+	h := kmerHistogram(HumanLike(rng, 300000), 21)
+	singles, total := 0, 0
+	for _, c := range h {
+		total++
+		if c == 1 {
+			singles++
+		}
+	}
+	if frac := float64(singles) / float64(total); frac < 0.85 {
+		t.Fatalf("only %f of human-like genome k-mers unique", frac)
+	}
+}
+
+func TestMetagenomeShape(t *testing.T) {
+	rng := xrt.NewPrng(4)
+	gs, ab := Metagenome(rng, 500000, 40)
+	if len(gs) != 40 || len(ab) != 40 {
+		t.Fatalf("got %d genomes, %d abundances", len(gs), len(ab))
+	}
+	total := 0
+	names := map[string]bool{}
+	for i, g := range gs {
+		if len(g.Seq) < 2000 {
+			t.Fatalf("species %d too small: %d", i, len(g.Seq))
+		}
+		if names[g.Name] {
+			t.Fatalf("duplicate name %s", g.Name)
+		}
+		names[g.Name] = true
+		total += len(g.Seq)
+		if ab[i] <= 0 {
+			t.Fatalf("non-positive abundance %f", ab[i])
+		}
+	}
+	if total < 400000 {
+		t.Fatalf("metagenome total %d too small", total)
+	}
+}
+
+func TestMutateRate(t *testing.T) {
+	rng := xrt.NewPrng(5)
+	g := Random(rng, 200000)
+	m := Mutate(rng, g, 0.001)
+	if len(m) != len(g) {
+		t.Fatal("length changed")
+	}
+	diffs := 0
+	for i := range g {
+		if g[i] != m[i] {
+			diffs++
+		}
+	}
+	if diffs < 100 || diffs > 320 {
+		t.Fatalf("mutation count %d far from expectation 200 at rate 0.1%%", diffs)
+	}
+	if bytes.Equal(g, m) {
+		t.Fatal("no mutations applied")
+	}
+}
+
+func TestSimulatePairsErrorFreeMatchGenome(t *testing.T) {
+	rng := xrt.NewPrng(6)
+	g := Random(rng, 50000)
+	recs, truth := SimulatePairs(rng, g, SimOptions{
+		Coverage: 10,
+		Lib:      Library{Name: "lib1", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+		Err:      ErrorModel{}, // zero rates: error-free
+	})
+	if len(recs) != 2*len(truth) {
+		t.Fatalf("records %d != 2x truth %d", len(recs), len(truth))
+	}
+	for i, tr := range truth {
+		frag := g[tr.Pos : tr.Pos+tr.Insert]
+		if tr.Flipped {
+			frag = kmer.RevCompString(frag)
+		}
+		r1, r2 := recs[2*i], recs[2*i+1]
+		if !bytes.Equal(r1.Seq, frag[:100]) {
+			t.Fatalf("pair %d read1 mismatch", i)
+		}
+		want2 := kmer.RevCompString(frag[len(frag)-100:])
+		if !bytes.Equal(r2.Seq, want2) {
+			t.Fatalf("pair %d read2 mismatch", i)
+		}
+		if !strings.HasSuffix(string(r1.ID), "/1") || !strings.HasSuffix(string(r2.ID), "/2") {
+			t.Fatalf("pair %d id suffixes wrong: %s %s", i, r1.ID, r2.ID)
+		}
+	}
+}
+
+func TestSimulatePairsCoverage(t *testing.T) {
+	rng := xrt.NewPrng(7)
+	g := Random(rng, 100000)
+	recs, _ := SimulatePairs(rng, g, SimOptions{
+		Coverage: 30,
+		Lib:      Library{Name: "x", ReadLen: 100, InsertMean: 400, InsertSD: 30},
+		Err:      DefaultErrorModel(),
+	})
+	bases := 0
+	for _, r := range recs {
+		bases += len(r.Seq)
+	}
+	cov := float64(bases) / float64(len(g))
+	if cov < 29 || cov > 31 {
+		t.Fatalf("achieved coverage %f, want ~30", cov)
+	}
+}
+
+func TestErrorRatesApproximatelyHonored(t *testing.T) {
+	rng := xrt.NewPrng(8)
+	g := Random(rng, 20000)
+	em := ErrorModel{StartRate: 0.01, EndRate: 0.05}
+	recs, truth := SimulatePairs(rng, g, SimOptions{
+		Coverage: 20,
+		Lib:      Library{Name: "e", ReadLen: 100, InsertMean: 300, InsertSD: 0},
+		Err:      em,
+	})
+	var errs, bases int
+	for i, tr := range truth {
+		frag := g[tr.Pos : tr.Pos+tr.Insert]
+		if tr.Flipped {
+			frag = kmer.RevCompString(frag)
+		}
+		want := frag[:100]
+		got := recs[2*i].Seq
+		for j := range want {
+			bases++
+			if want[j] != got[j] {
+				errs++
+			}
+		}
+	}
+	rate := float64(errs) / float64(bases)
+	if rate < 0.02 || rate > 0.04 { // mean of ramp 0.01..0.05 is 0.03
+		t.Fatalf("observed error rate %f, want ~0.03", rate)
+	}
+}
+
+func TestQualitiesReflectErrorModel(t *testing.T) {
+	em := ErrorModel{StartRate: 0.001, EndRate: 0.1}
+	first := em.qualChar(0, 100)
+	last := em.qualChar(99, 100)
+	if first <= last {
+		t.Fatalf("quality should fall along the read: first %d last %d", first, last)
+	}
+	if first < 33+2 || first > 33+41 {
+		t.Fatalf("quality %d out of phred+33 range", first)
+	}
+}
+
+func TestDiploidHaplotypeSampling(t *testing.T) {
+	rng := xrt.NewPrng(9)
+	g := Random(rng, 30000)
+	hap2 := Mutate(rng, g, 0.002)
+	_, truth := SimulatePairs(rng, g, SimOptions{
+		Coverage:   10,
+		Lib:        Library{Name: "d", ReadLen: 80, InsertMean: 250, InsertSD: 10},
+		Haplotypes: [][]byte{hap2},
+	})
+	counts := [2]int{}
+	for _, tr := range truth {
+		counts[tr.GenomeIdx]++
+	}
+	total := counts[0] + counts[1]
+	if counts[0] < total/3 || counts[1] < total/3 {
+		t.Fatalf("haplotype sampling skewed: %v", counts)
+	}
+}
+
+func TestSimulateMetagenomeSamplesAllAbundantSpecies(t *testing.T) {
+	rng := xrt.NewPrng(10)
+	gs, ab := Metagenome(rng, 200000, 10)
+	recs := SimulateMetagenome(rng, gs, ab, 2000,
+		Library{Name: "meta", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+		DefaultErrorModel())
+	if len(recs) < 2000 {
+		t.Fatalf("only %d records generated", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		id := string(r.ID)
+		if i := strings.Index(id, "species"); i >= 0 {
+			seen[id[i:i+10]] = true
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("reads only cover %d species", len(seen))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := WheatLike(xrt.NewPrng(42), 50000)
+	g2 := WheatLike(xrt.NewPrng(42), 50000)
+	if !bytes.Equal(g1, g2) {
+		t.Fatal("same seed produced different genomes")
+	}
+}

@@ -1,0 +1,87 @@
+package hll
+
+import (
+	"math"
+	"testing"
+
+	"hipmer/internal/xrt"
+)
+
+func TestEstimateAcrossMagnitudes(t *testing.T) {
+	for _, n := range []uint64{100, 1000, 10000, 100000, 1000000} {
+		s := New(14)
+		for i := uint64(0); i < n; i++ {
+			s.Add(xrt.Splitmix64(i))
+		}
+		est := float64(s.Estimate())
+		err := math.Abs(est-float64(n)) / float64(n)
+		if err > 0.05 {
+			t.Fatalf("n=%d: estimate %d, relative error %f", n, s.Estimate(), err)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New(12)
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 5000; i++ {
+			s.Add(xrt.Splitmix64(i))
+		}
+	}
+	est := float64(s.Estimate())
+	if est < 4000 || est > 6000 {
+		t.Fatalf("estimate %f far from 5000 despite duplicates", est)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := New(12), New(12), New(12)
+	for i := uint64(0); i < 20000; i++ {
+		h := xrt.Splitmix64(i)
+		if i%2 == 0 {
+			a.Add(h)
+		} else {
+			b.Add(h)
+		}
+		u.Add(h)
+	}
+	// overlap: add some of b's items to a as well
+	for i := uint64(1); i < 5000; i += 2 {
+		a.Add(xrt.Splitmix64(i))
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Fatalf("merged estimate %d != union estimate %d", a.Estimate(), u.Estimate())
+	}
+}
+
+func TestMergePrecisionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Merge(New(12))
+}
+
+func TestPrecisionClamping(t *testing.T) {
+	if got := New(2).Precision(); got != 4 {
+		t.Fatalf("low precision clamped to %d, want 4", got)
+	}
+	if got := New(30).Precision(); got != 18 {
+		t.Fatalf("high precision clamped to %d, want 18", got)
+	}
+}
+
+func TestEmptySketchEstimatesZero(t *testing.T) {
+	if got := New(12).Estimate(); got != 0 {
+		t.Fatalf("empty sketch estimates %d", got)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(14)
+	for i := 0; i < b.N; i++ {
+		s.Add(xrt.Splitmix64(uint64(i)))
+	}
+}

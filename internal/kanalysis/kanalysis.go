@@ -1,0 +1,393 @@
+// Package kanalysis implements stage 1 of the Meraculous/HipMer pipeline:
+// parallel k-mer analysis (paper §2.1, §3.1). Reads are chopped into
+// canonical k-mers; a first pass estimates the distinct-k-mer cardinality
+// (HyperLogLog) and identifies heavy hitters (Misra–Gries) — both sketches
+// are mergeable, so the pass is embarrassingly parallel. A second pass
+// inserts k-mers into per-owner Bloom filters so that only k-mers seen at
+// least twice enter the distributed hash table (the 85% memory saving of
+// the paper). A third pass counts every occurrence and accumulates
+// quality-filtered extension evidence. Heavy hitters bypass the
+// owner-computes path: they are accumulated locally and combined in a
+// final global reduction, eliminating the receiver-side load imbalance
+// repetitive genomes otherwise cause.
+package kanalysis
+
+import (
+	"hipmer/internal/bloom"
+	"hipmer/internal/dht"
+	"hipmer/internal/fastq"
+	"hipmer/internal/hll"
+	"hipmer/internal/kmer"
+	"hipmer/internal/mg"
+	"hipmer/internal/xrt"
+)
+
+// Options configures k-mer analysis.
+type Options struct {
+	// K is the k-mer length (the paper uses 41–51 for human/wheat).
+	K int
+	// MinCount discards k-mers observed fewer times (default 2): those are
+	// treated as erroneous, per Meraculous.
+	MinCount int
+	// QualThreshold is the minimum phred score for a base to contribute
+	// extension evidence (Meraculous uses Q≥19). Phred, not ASCII.
+	QualThreshold int
+	// MinExtCount is the evidence needed to call an extension base
+	// (default 2); two or more qualifying bases make a fork.
+	MinExtCount int
+	// Theta is the Misra–Gries counter budget (paper: 32,000).
+	Theta int
+	// HeavyHitters enables the §3.1 optimization. When false every k-mer
+	// takes the owner-computes path (the "Default" series of Figure 6).
+	HeavyHitters bool
+	// HHMinCount is the estimated-count threshold above which a tracked
+	// item is treated as a heavy hitter. Defaults to max(64, n/Theta).
+	HHMinCount int64
+	// BloomFP is the Bloom filter false-positive design point.
+	BloomFP float64
+	// DisableBloom admits every k-mer into the hash table on first
+	// sighting, the behaviour the Bloom filters exist to avoid; used by
+	// the memory ablation that reproduces the paper's "up to 85%" saving.
+	DisableBloom bool
+	// AggBufSize overrides the aggregating-stores buffer size (0 = default).
+	AggBufSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 31
+	}
+	if o.MinCount <= 0 {
+		o.MinCount = 2
+	}
+	if o.QualThreshold <= 0 {
+		o.QualThreshold = 19
+	}
+	if o.MinExtCount <= 0 {
+		o.MinExtCount = 2
+	}
+	if o.Theta <= 0 {
+		o.Theta = 32000
+	}
+	if o.BloomFP <= 0 {
+		o.BloomFP = 0.05
+	}
+	return o
+}
+
+// KmerData is the value stored per canonical k-mer: its exact count and
+// the quality-filtered extension evidence for both directions, plus the
+// finalized extension codes.
+type KmerData struct {
+	Count    uint32
+	LeftCnt  [4]uint32
+	RightCnt [4]uint32
+	ExtL     byte
+	ExtR     byte
+}
+
+func (d *KmerData) merge(o KmerData) {
+	d.Count += o.Count
+	for i := 0; i < 4; i++ {
+		d.LeftCnt[i] += o.LeftCnt[i]
+		d.RightCnt[i] += o.RightCnt[i]
+	}
+}
+
+// IsUU reports whether both extensions are unique bases, making the k-mer
+// eligible for the contig de Bruijn graph.
+func (d KmerData) IsUU() bool {
+	return kmer.IsBaseExt(d.ExtL) && kmer.IsBaseExt(d.ExtR)
+}
+
+// Result carries the outputs of k-mer analysis.
+type Result struct {
+	// Table maps canonical k-mer → KmerData for every k-mer with
+	// count ≥ MinCount, with finalized extension codes.
+	Table *dht.Table[kmer.Kmer, KmerData]
+	// DistinctEstimate is the HyperLogLog cardinality estimate.
+	DistinctEstimate uint64
+	// HeavyHitters is the number of k-mers special-cased by the §3.1 path.
+	HeavyHitters int
+	// Kept is the number of distinct k-mers surviving the count filter.
+	Kept int64
+	// PeakEntries is the hash-table size after the insertion pass and
+	// before count filtering — the memory high-water mark the Bloom
+	// screen reduces (§3.1: up to 85% on human and wheat).
+	PeakEntries int64
+	// TotalKmers is the number of k-mer occurrences processed.
+	TotalKmers int64
+	// Phase virtual durations.
+	SketchPhase, BloomPhase, CountPhase xrt.PhaseStats
+}
+
+// occurrence captures one sighting of a canonical k-mer with its oriented,
+// quality-filtered extension evidence. ext codes 0..3 are bases; 4 = none.
+type occurrence struct {
+	km    kmer.Kmer
+	left  uint8
+	right uint8
+}
+
+const noExt = 4
+
+// forEachOccurrence canonicalizes every k-mer of rec and reports oriented
+// extensions. Reads shorter than k or windows containing N are skipped.
+func forEachOccurrence(rec fastq.Record, k, qualThresh int, fn func(o occurrence)) {
+	seq, qual := rec.Seq, rec.Qual
+	kmer.ForEach(seq, k, func(pos int, km kmer.Kmer) {
+		left, right := uint8(noExt), uint8(noExt)
+		if pos > 0 && int(qual[pos-1])-33 >= qualThresh {
+			if c, ok := kmer.BaseCode(seq[pos-1]); ok {
+				left = uint8(c)
+			}
+		}
+		if e := pos + k; e < len(seq) && int(qual[e])-33 >= qualThresh {
+			if c, ok := kmer.BaseCode(seq[e]); ok {
+				right = uint8(c)
+			}
+		}
+		canon, flipped := km.Canonical(k)
+		if flipped {
+			// the canonical orientation sees complemented, swapped ends
+			left, right = comp(right), comp(left)
+		}
+		fn(occurrence{km: canon, left: left, right: right})
+	})
+}
+
+func comp(c uint8) uint8 {
+	if c == noExt {
+		return noExt
+	}
+	return 3 - c
+}
+
+func (o occurrence) delta() KmerData {
+	var d KmerData
+	d.Count = 1
+	if o.left != noExt {
+		d.LeftCnt[o.left]++
+	}
+	if o.right != noExt {
+		d.RightCnt[o.right]++
+	}
+	return d
+}
+
+// Run executes k-mer analysis. readsByRank[i] is the slice of reads rank i
+// obtained from the parallel FASTQ reader. The returned table's entries
+// are complete and extension-finalized after Run returns.
+func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
+	opt = opt.withDefaults()
+	p := team.Config().Ranks
+	res := &Result{}
+
+	// --- pass 1: cardinality + heavy-hitter sketches (free I/O-wise) ----
+	sketches := make([]*hll.Sketch, p)
+	summaries := make([]*mg.Summary[kmer.Kmer], p)
+	hhSets := make([]map[kmer.Kmer]*KmerData, p)
+	var totalKmers int64
+	res.SketchPhase = team.Run(func(r *xrt.Rank) {
+		sk := hll.New(14)
+		sm := mg.New[kmer.Kmer](opt.Theta)
+		n := 0
+		for _, rec := range readsByRank[r.ID] {
+			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence) {
+				sk.Add(o.km.Hash(0x5eed))
+				if opt.HeavyHitters {
+					sm.Offer(o.km)
+				}
+				n++
+			})
+		}
+		r.ChargeItems(n)
+		sketches[r.ID] = sk
+		summaries[r.ID] = sm
+		total := r.AllReduceInt64(int64(n), func(a, b int64) int64 { return a + b })
+		if r.ID == 0 {
+			totalKmers = total
+		}
+	})
+	res.TotalKmers = totalKmers
+
+	// Merge sketches (deterministic rank order) — every rank derives the
+	// same global cardinality and heavy-hitter set.
+	global := hll.New(14)
+	for _, sk := range sketches {
+		global.Merge(sk)
+	}
+	res.DistinctEstimate = global.Estimate()
+
+	hhSet := make(map[kmer.Kmer]bool)
+	if opt.HeavyHitters {
+		merged := mg.New[kmer.Kmer](opt.Theta)
+		for _, sm := range summaries {
+			merged.Merge(sm)
+		}
+		thresh := opt.HHMinCount
+		if thresh <= 0 {
+			thresh = totalKmers / int64(opt.Theta)
+			if thresh < 64 {
+				thresh = 64
+			}
+		}
+		for _, hit := range merged.HeavyHitters(thresh) {
+			hhSet[hit.Item] = true
+		}
+	}
+	res.HeavyHitters = len(hhSet)
+
+	// --- table + per-owner Bloom filters -------------------------------
+	perOwner := res.DistinctEstimate/uint64(p) + 64
+	blooms := make([]*bloom.Filter, p)
+	for i := range blooms {
+		blooms[i] = bloom.New(perOwner*12/10, opt.BloomFP)
+	}
+	table := dht.New[kmer.Kmer, KmerData](team, dht.Options[kmer.Kmer]{
+		Hash:       func(km kmer.Kmer) uint64 { return km.Hash(0xc0ffee) },
+		ItemBytes:  16 + 10,
+		AggBufSize: opt.AggBufSize,
+	}, nil)
+	res.Table = table
+
+	// pass 2: Bloom screening — the second sighting of a k-mer promotes it
+	// into the table; single-occurrence (erroneous) k-mers never enter.
+	table.SetApply(func(owner int, k kmer.Kmer, _ KmerData, shard map[kmer.Kmer]KmerData) {
+		if _, ok := shard[k]; ok {
+			return
+		}
+		if opt.DisableBloom || blooms[owner].Add(k.Hash(0xb100), k.Hash(0xb101)) {
+			shard[k] = KmerData{}
+		}
+	})
+	res.BloomPhase = team.Run(func(r *xrt.Rank) {
+		n := 0
+		for _, rec := range readsByRank[r.ID] {
+			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence) {
+				n++
+				if hhSet[o.km] {
+					return
+				}
+				table.Put(r, o.km, KmerData{})
+			})
+		}
+		r.ChargeItems(n)
+		table.Flush(r)
+		r.Barrier()
+	})
+
+	// pass 3: exact counting with extension evidence. Heavy hitters are
+	// accumulated rank-locally; everything else goes to its owner.
+	table.SetApply(func(owner int, k kmer.Kmer, in KmerData, shard map[kmer.Kmer]KmerData) {
+		if d, ok := shard[k]; ok {
+			d.merge(in)
+			shard[k] = d
+		}
+	})
+	res.CountPhase = team.Run(func(r *xrt.Rank) {
+		local := make(map[kmer.Kmer]*KmerData, len(hhSet))
+		n := 0
+		for _, rec := range readsByRank[r.ID] {
+			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence) {
+				n++
+				if hhSet[o.km] {
+					d, ok := local[o.km]
+					if !ok {
+						d = &KmerData{}
+						local[o.km] = d
+					}
+					delta := o.delta()
+					d.merge(delta)
+					return
+				}
+				table.Put(r, o.km, o.delta())
+			})
+		}
+		r.ChargeItems(n)
+		table.Flush(r)
+		hhSets[r.ID] = local
+		r.Barrier()
+
+		// global reduction of the heavy-hitter accumulators: every rank
+		// folds the partial counts for the k-mers it owns. The data volume
+		// is O(#HH × p) — tiny next to the stream — charged as a tree
+		// reduction plus the per-item fold.
+		if len(hhSet) > 0 {
+			chargeHHReduction(r, len(hhSet))
+			for km := range hhSet {
+				if table.Owner(km) != r.ID {
+					continue
+				}
+				var agg KmerData
+				for _, part := range hhSets {
+					if d, ok := part[km]; ok {
+						agg.merge(*d)
+					}
+				}
+				table.Mutate(r, km, func(v KmerData, _ bool) (KmerData, bool) {
+					v.merge(agg)
+					return v, true
+				})
+			}
+		}
+		r.Barrier()
+		peak := table.GlobalLen(r)
+		if r.ID == 0 {
+			res.PeakEntries = peak
+		}
+
+		// finalize: drop low-count k-mers, call extension codes
+		table.LocalFilter(r, func(k kmer.Kmer, v KmerData) (KmerData, bool) {
+			if v.Count < uint32(opt.MinCount) {
+				return v, false
+			}
+			v.ExtL = callExt(v.LeftCnt, opt.MinExtCount)
+			v.ExtR = callExt(v.RightCnt, opt.MinExtCount)
+			return v, true
+		})
+		kept := table.GlobalLen(r)
+		if r.ID == 0 {
+			res.Kept = kept
+		}
+	})
+	table.SetApply(nil)
+	return res
+}
+
+// chargeHHReduction charges the cost of the heavy-hitter tree reduction:
+// log2(p) exchange steps, each moving hh fixed-size records and folding
+// them (a linear merge of flat arrays, much cheaper per item than a
+// hash-table operation).
+func chargeHHReduction(r *xrt.Rank, hh int) {
+	cost := r.Team().Cost()
+	p := r.N()
+	steps := 0
+	for n := 1; n < p; n *= 2 {
+		steps++
+	}
+	per := cost.OffNodeMsgNs + float64(hh)*(cost.OffNodeByteNs*36+cost.ItemNs/4)
+	r.Charge(float64(steps) * per)
+}
+
+// callExt decides the Meraculous extension code from evidence counts:
+// exactly one base with enough support → that base; several → fork 'F';
+// none → 'X'.
+func callExt(cnt [4]uint32, minCount int) byte {
+	qualified := -1
+	nq := 0
+	for b, c := range cnt {
+		if int(c) >= minCount {
+			nq++
+			qualified = b
+		}
+	}
+	switch nq {
+	case 0:
+		return kmer.ExtNone
+	case 1:
+		return kmer.CodeBase(uint64(qualified))
+	default:
+		return kmer.ExtFork
+	}
+}

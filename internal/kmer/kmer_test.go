@@ -1,0 +1,289 @@
+package kmer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func revCompNaive(s string) string {
+	var b strings.Builder
+	for i := len(s) - 1; i >= 0; i-- {
+		b.WriteByte(Complement(s[i]))
+	}
+	return b.String()
+}
+
+func TestPackUnpackRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		s := randSeq(rng, k)
+		km, ok := Pack(s, k)
+		if !ok {
+			t.Fatalf("pack failed for %q", s)
+		}
+		if got := km.String(k); got != string(s) {
+			t.Fatalf("k=%d roundtrip: got %q want %q", k, got, s)
+		}
+	}
+}
+
+func TestPackRejectsInvalid(t *testing.T) {
+	if _, ok := Pack([]byte("ACGNT"), 5); ok {
+		t.Fatal("packed a k-mer containing N")
+	}
+	if _, ok := Pack([]byte("ACG"), 5); ok {
+		t.Fatal("packed short sequence")
+	}
+	if _, ok := Pack([]byte("ACG"), 0); ok {
+		t.Fatal("packed k=0")
+	}
+}
+
+func TestPackMaintainsZeroPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		km, _ := Pack(randSeq(rng, k), k)
+		if got := km.mask(k); got != km {
+			t.Fatalf("k=%d: unused bits non-zero: %x vs %x", k, km, got)
+		}
+	}
+}
+
+func TestLexOrderMatchesStringOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		a, b := randSeq(rng, k), randSeq(rng, k)
+		ka, _ := Pack(a, k)
+		kb, _ := Pack(b, k)
+		if ka.Less(kb) != (string(a) < string(b)) {
+			t.Fatalf("k=%d order mismatch %q vs %q", k, a, b)
+		}
+	}
+}
+
+func TestRevCompMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		s := randSeq(rng, k)
+		km, _ := Pack(s, k)
+		want := revCompNaive(string(s))
+		if got := km.RevComp(k).String(k); got != want {
+			t.Fatalf("k=%d revcomp(%q) = %q, want %q", k, s, got, want)
+		}
+	}
+}
+
+func TestRevCompInvolution(t *testing.T) {
+	f := func(w0, w1 uint64, kRaw uint8) bool {
+		k := int(kRaw)%MaxK + 1
+		km := (Kmer{W: [2]uint64{w0, w1}}).mask(k)
+		return km.RevComp(k).RevComp(k) == km
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalInvariant(t *testing.T) {
+	f := func(w0, w1 uint64, kRaw uint8) bool {
+		k := int(kRaw)%MaxK + 1
+		km := (Kmer{W: [2]uint64{w0, w1}}).mask(k)
+		c1, _ := km.Canonical(k)
+		c2, _ := km.RevComp(k).Canonical(k)
+		if c1 != c2 {
+			return false
+		}
+		// canonical is never greater than either form
+		return !km.Less(c1) || c1 == km
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsAreMutualInverses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		k := 2 + rng.Intn(MaxK-1)
+		s := randSeq(rng, k)
+		km, _ := Pack(s, k)
+		c := uint64(rng.Intn(4))
+		right := km.NextRight(k, c)
+		// right = s[1:] + base; going back left with s[0] must restore km.
+		back := right.NextLeft(k, km.Base(0))
+		if back != km {
+			t.Fatalf("k=%d NextLeft(NextRight) != id for %q", k, s)
+		}
+		wantRight := string(s[1:]) + string(CodeBase(c))
+		if right.String(k) != wantRight {
+			t.Fatalf("NextRight got %q want %q", right.String(k), wantRight)
+		}
+		left := km.NextLeft(k, c)
+		wantLeft := string(CodeBase(c)) + string(s[:k-1])
+		if left.String(k) != wantLeft {
+			t.Fatalf("NextLeft got %q want %q", left.String(k), wantLeft)
+		}
+	}
+}
+
+func TestNeighborRevCompDuality(t *testing.T) {
+	// revcomp(NextRight(x, c)) == NextLeft(revcomp(x), comp(c))
+	f := func(w0, w1 uint64, kRaw, cRaw uint8) bool {
+		k := int(kRaw)%(MaxK-1) + 2
+		c := uint64(cRaw) & 3
+		km := (Kmer{W: [2]uint64{w0, w1}}).mask(k)
+		a := km.NextRight(k, c).RevComp(k)
+		b := km.RevComp(k).NextLeft(k, 3-c)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(300)
+		k := 1 + rng.Intn(40)
+		s := randSeq(rng, n)
+		// sprinkle Ns
+		for i := range s {
+			if rng.Intn(20) == 0 {
+				s[i] = 'N'
+			}
+		}
+		var got []string
+		ForEach(s, k, func(pos int, km Kmer) {
+			if km.String(k) != string(s[pos:pos+k]) {
+				t.Fatalf("window mismatch at %d", pos)
+			}
+			got = append(got, km.String(k))
+		})
+		var want []string
+		for i := 0; i+k <= n; i++ {
+			if km, ok := Pack(s[i:i+k], k); ok {
+				want = append(want, km.String(k))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d n=%d: got %d windows, want %d", k, n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %d: %q vs %q", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const buckets = 16
+	var counts [buckets]int
+	n := 50000
+	for i := 0; i < n; i++ {
+		km, _ := Pack(randSeq(rng, 31), 31)
+		counts[km.Hash(0)%buckets]++
+	}
+	for i, c := range counts {
+		if c < n/buckets-n/64 || c > n/buckets+n/64 {
+			t.Fatalf("bucket %d has %d of %d", i, c, n)
+		}
+	}
+}
+
+func TestHashSeedIndependence(t *testing.T) {
+	km := FromString("ACGTACGTACGTACGTACGT")
+	if km.Hash(1) == km.Hash(2) {
+		t.Fatal("different seeds produced identical hash")
+	}
+}
+
+func TestComplementAndCodes(t *testing.T) {
+	pairs := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A'}
+	for b, c := range pairs {
+		if Complement(b) != c {
+			t.Fatalf("complement(%c) = %c", b, Complement(b))
+		}
+		code, ok := BaseCode(b)
+		if !ok || CodeBase(code) != b {
+			t.Fatalf("code roundtrip failed for %c", b)
+		}
+	}
+	if Complement('N') != 'N' {
+		t.Fatal("complement(N) != N")
+	}
+	if _, ok := BaseCode('N'); ok {
+		t.Fatal("BaseCode accepted N")
+	}
+}
+
+func TestRevCompString(t *testing.T) {
+	if got := string(RevCompString([]byte("ACGTN"))); got != "NACGT" {
+		t.Fatalf("got %q", got)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeq(rng, rng.Intn(100))
+		return string(RevCompString(RevCompString(s))) == string(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtCodes(t *testing.T) {
+	for _, e := range []byte{'A', 'C', 'G', 'T'} {
+		if !IsBaseExt(e) {
+			t.Fatalf("%c should be a base extension", e)
+		}
+	}
+	for _, e := range []byte{ExtFork, ExtNone, 'N', 0} {
+		if IsBaseExt(e) {
+			t.Fatalf("%c should not be a base extension", e)
+		}
+	}
+}
+
+func TestFromStringPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromString("ACGN")
+}
+
+func BenchmarkForEach(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	seq := randSeq(rng, 10000)
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ForEach(seq, 31, func(pos int, km Kmer) { n++ })
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	km, _ := Pack(randSeq(rng, 51), 51)
+	for i := 0; i < b.N; i++ {
+		km, _ = km.Canonical(51)
+	}
+}

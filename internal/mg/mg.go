@@ -1,0 +1,116 @@
+// Package mg implements the Misra–Gries frequent-items ("heavy hitters")
+// algorithm with mergeable summaries, as used by HipMer's k-mer analysis
+// (paper §3.1) to identify k-mers frequent enough to cause owner-computes
+// load imbalance on repetitive genomes. With θ counters, every item whose
+// true frequency f(x) ≥ n/θ is guaranteed to be reported, and the reported
+// estimate f'(x) satisfies f(x) − n/θ ≤ f'(x) ≤ f(x).
+//
+// Summaries merge by adding counts and subtracting the (θ+1)-th largest
+// combined count (Agarwal et al., "Mergeable summaries"), preserving the
+// error bound, which is what lets each rank scan its reads independently
+// and the team reduce to a global heavy-hitter set — the parallelization
+// of Cafaro & Tempesta the paper cites.
+package mg
+
+import "sort"
+
+// Summary is a Misra–Gries sketch over items of comparable type K.
+type Summary[K comparable] struct {
+	theta    int
+	counters map[K]int64
+	n        int64 // stream length observed
+}
+
+// New creates a summary with θ counters (θ = 32,000 in the paper's wheat
+// experiments).
+func New[K comparable](theta int) *Summary[K] {
+	if theta < 1 {
+		theta = 1
+	}
+	return &Summary[K]{theta: theta, counters: make(map[K]int64, theta+1)}
+}
+
+// Offer feeds one occurrence of item x into the summary.
+func (s *Summary[K]) Offer(x K) {
+	s.n++
+	if c, ok := s.counters[x]; ok {
+		s.counters[x] = c + 1
+		return
+	}
+	if len(s.counters) < s.theta {
+		s.counters[x] = 1
+		return
+	}
+	// decrement-all step; delete zeroed counters
+	for k, c := range s.counters {
+		if c == 1 {
+			delete(s.counters, k)
+		} else {
+			s.counters[k] = c - 1
+		}
+	}
+}
+
+// N returns the number of items offered (including via merges).
+func (s *Summary[K]) N() int64 { return s.n }
+
+// Theta returns the counter budget.
+func (s *Summary[K]) Theta() int { return s.theta }
+
+// Count returns the estimated count of x (0 if untracked). The estimate
+// is a lower bound on the true count.
+func (s *Summary[K]) Count(x K) int64 { return s.counters[x] }
+
+// Items returns the tracked items and their estimated counts.
+func (s *Summary[K]) Items() map[K]int64 {
+	out := make(map[K]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// HeavyHitters returns items whose estimated count is at least minCount,
+// sorted by descending estimate (ties in unspecified order).
+func (s *Summary[K]) HeavyHitters(minCount int64) []Hit[K] {
+	var hits []Hit[K]
+	for k, c := range s.counters {
+		if c >= minCount {
+			hits = append(hits, Hit[K]{Item: k, Count: c})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Count > hits[j].Count })
+	return hits
+}
+
+// Hit is one reported frequent item.
+type Hit[K comparable] struct {
+	Item  K
+	Count int64
+}
+
+// Merge folds other into s, preserving the Misra–Gries error guarantee
+// for the combined stream. Both summaries should share θ.
+func (s *Summary[K]) Merge(other *Summary[K]) {
+	for k, c := range other.counters {
+		s.counters[k] += c
+	}
+	s.n += other.n
+	if len(s.counters) <= s.theta {
+		return
+	}
+	// find the (θ+1)-th largest count and subtract it from everything
+	counts := make([]int64, 0, len(s.counters))
+	for _, c := range s.counters {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	sub := counts[s.theta]
+	for k, c := range s.counters {
+		if c <= sub {
+			delete(s.counters, k)
+		} else {
+			s.counters[k] = c - sub
+		}
+	}
+}

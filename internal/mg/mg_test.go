@@ -1,0 +1,157 @@
+package mg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// zipfStream generates a skewed stream mimicking a repetitive genome's
+// k-mer frequency distribution.
+func zipfStream(rng *rand.Rand, n, universe int) []int {
+	z := rand.NewZipf(rng, 1.3, 1, uint64(universe-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+func trueCounts(stream []int) map[int]int64 {
+	c := make(map[int]int64)
+	for _, x := range stream {
+		c[x]++
+	}
+	return c
+}
+
+func TestGuaranteeAllFrequentItemsReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	stream := zipfStream(rng, 200000, 10000)
+	theta := 100
+	s := New[int](theta)
+	for _, x := range stream {
+		s.Offer(x)
+	}
+	truth := trueCounts(stream)
+	bound := int64(len(stream) / theta)
+	for x, f := range truth {
+		if f >= bound && s.Count(x) == 0 {
+			t.Fatalf("item %d with count %d >= n/θ=%d not tracked", x, f, bound)
+		}
+	}
+}
+
+func TestCountBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stream := zipfStream(rng, 100000, 5000)
+	theta := 200
+	s := New[int](theta)
+	for _, x := range stream {
+		s.Offer(x)
+	}
+	truth := trueCounts(stream)
+	bound := int64(len(stream) / theta)
+	for x, est := range s.Items() {
+		f := truth[x]
+		if est > f {
+			t.Fatalf("item %d: estimate %d exceeds true count %d", x, est, f)
+		}
+		if est < f-bound {
+			t.Fatalf("item %d: estimate %d below f-n/θ = %d", x, est, f-bound)
+		}
+	}
+}
+
+func TestMergePreservesGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stream := zipfStream(rng, 300000, 8000)
+	theta := 150
+	parts := 8
+	merged := New[int](theta)
+	chunk := len(stream) / parts
+	for i := 0; i < parts; i++ {
+		s := New[int](theta)
+		for _, x := range stream[i*chunk : (i+1)*chunk] {
+			s.Offer(x)
+		}
+		merged.Merge(s)
+	}
+	truth := trueCounts(stream[:parts*chunk])
+	n := int64(parts * chunk)
+	bound := n / int64(theta)
+	if merged.N() != n {
+		t.Fatalf("merged N = %d, want %d", merged.N(), n)
+	}
+	for x, f := range truth {
+		est := merged.Count(x)
+		if est > f {
+			t.Fatalf("merged item %d: estimate %d > true %d", x, est, f)
+		}
+		if f >= 2*bound && est == 0 {
+			// items comfortably above threshold must survive merging
+			t.Fatalf("very frequent item %d (count %d, bound %d) lost in merge", x, f, bound)
+		}
+	}
+	// size bound: merge must not blow up the summary
+	if len(merged.Items()) > theta {
+		t.Fatalf("merged summary has %d counters, θ=%d", len(merged.Items()), theta)
+	}
+}
+
+func TestHeavyHittersSortedAndThresholded(t *testing.T) {
+	s := New[string](10)
+	for i := 0; i < 50; i++ {
+		s.Offer("big")
+	}
+	for i := 0; i < 20; i++ {
+		s.Offer("mid")
+	}
+	s.Offer("tiny")
+	hits := s.HeavyHitters(5)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2: %v", len(hits), hits)
+	}
+	if hits[0].Item != "big" || hits[1].Item != "mid" {
+		t.Fatalf("wrong order: %v", hits)
+	}
+	if hits[0].Count > 50 {
+		t.Fatalf("estimate %d above true count", hits[0].Count)
+	}
+}
+
+func TestUniformStreamYieldsNoSpuriousGiants(t *testing.T) {
+	// On a uniform stream nothing is frequent; estimates must stay tiny.
+	rng := rand.New(rand.NewSource(4))
+	s := New[int](50)
+	n := 100000
+	for i := 0; i < n; i++ {
+		s.Offer(rng.Intn(100000))
+	}
+	for x, c := range s.Items() {
+		if c > int64(n/50) {
+			t.Fatalf("uniform stream: item %d got estimate %d", x, c)
+		}
+	}
+}
+
+func TestThetaClamp(t *testing.T) {
+	s := New[int](0)
+	s.Offer(1)
+	s.Offer(1)
+	if s.Count(1) == 0 && len(s.Items()) > 1 {
+		t.Fatal("θ clamp broken")
+	}
+	if s.Theta() != 1 {
+		t.Fatalf("theta = %d, want 1", s.Theta())
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	stream := zipfStream(rng, 100000, 10000)
+	s := New[int](32000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(stream[i%len(stream)])
+	}
+}

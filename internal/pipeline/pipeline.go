@@ -1,0 +1,395 @@
+// Package pipeline orchestrates the complete HipMer assembly: parallel
+// FASTQ input, k-mer analysis, contig generation, scaffolding, and gap
+// closing, with per-stage virtual-time and communication accounting —
+// the quantities Figures 6–8 and Tables 1–3 of the paper report.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hipmer/internal/contig"
+	"hipmer/internal/dht"
+	"hipmer/internal/fastq"
+	"hipmer/internal/gapclose"
+	"hipmer/internal/genome"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/scaffold"
+	"hipmer/internal/seqdb"
+	"hipmer/internal/xrt"
+)
+
+// Library is one input read library: either a file path (FASTQ read with
+// the parallel block reader of §3.3, or the SeqDB-like binary container
+// when the path ends in ".seqdb") or in-memory records.
+type Library struct {
+	Name string
+	// Path to a FASTQ or .seqdb file; takes precedence over Records.
+	Path string
+	// Records are interleaved pairs (2i, 2i+1 are mates).
+	Records []fastq.Record
+	// InsertHint seeds insert-size estimation on small datasets.
+	InsertHint int
+}
+
+// Config controls the pipeline.
+type Config struct {
+	// K is the assembly k-mer length (odd; default 31).
+	K int
+	// MinCount is the k-mer error-exclusion threshold (default 2).
+	MinCount int
+	// HeavyHitters enables the §3.1 optimization (default on via
+	// DisableHeavyHitters=false).
+	DisableHeavyHitters bool
+	// Theta is the Misra–Gries budget (default 32000).
+	Theta int
+	// HHMinCount overrides the heavy-hitter threshold (0 = automatic).
+	HHMinCount int64
+	// Oracle, when set, places the de Bruijn graph with the
+	// communication-avoiding layout of §3.2.
+	Oracle *dht.Oracle
+	// AggBufSize overrides the aggregating-stores buffer size everywhere
+	// (1 = fine-grained messages, used by the baselines).
+	AggBufSize int
+	// ContigsOnly stops after contig generation (the paper's metagenome
+	// mode, §5.4, where single-genome scaffolding logic would mis-join).
+	ContigsOnly bool
+	// ScaffoldRounds repeats scaffolding + gap closing, feeding each
+	// round's scaffolds back in as contigs. The paper's wheat runs used
+	// four rounds (§5.3); long-insert libraries join progressively larger
+	// pieces each round. Default 1.
+	ScaffoldRounds int
+	// Scaffold options pass-through.
+	Scaffold scaffold.Options
+	// Gapclose options pass-through.
+	Gapclose gapclose.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 31
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 2
+	}
+	return c
+}
+
+// StageTiming is one stage's virtual duration and communication delta.
+type StageTiming struct {
+	Name    string
+	Virtual time.Duration
+	Wall    time.Duration
+	Comm    xrt.CommStats
+}
+
+// Result is the complete pipeline output.
+type Result struct {
+	KAnalysis *kanalysis.Result
+	Contigs   *contig.Result
+	Scaffold  *scaffold.Result
+	Gapclose  *gapclose.Result
+	// FinalSeqs are the assembled scaffold sequences (or contig sequences
+	// in ContigsOnly mode).
+	FinalSeqs [][]byte
+	// Timings per stage: io, kmer-analysis, contig-generation,
+	// scaffolding (with merAligner and gap-closing reported separately),
+	// and total.
+	Timings []StageTiming
+}
+
+// Timing returns the named stage timing (zero value if absent).
+func (r *Result) Timing(name string) StageTiming {
+	for _, t := range r.Timings {
+		if t.Name == name {
+			return t
+		}
+	}
+	return StageTiming{}
+}
+
+// Run executes the pipeline on the given team.
+func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	p := team.Config().Ranks
+
+	track := func(name string, fn func() error) error {
+		beforeV := team.VirtualNow()
+		beforeC := team.AggStats()
+		beforeW := time.Now()
+		if err := fn(); err != nil {
+			return err
+		}
+		res.Timings = append(res.Timings, StageTiming{
+			Name:    name,
+			Virtual: team.VirtualNow() - beforeV,
+			Wall:    time.Since(beforeW),
+			Comm:    team.AggStats().Sub(beforeC),
+		})
+		return nil
+	}
+
+	// --- stage 0: parallel FASTQ input --------------------------------
+	readLibs := make([]scaffold.ReadLib, len(libs))
+	err := track("io", func() error {
+		for li, lib := range libs {
+			parts := make([][]fastq.Record, p)
+			if strings.HasSuffix(lib.Path, ".seqdb") {
+				fl, err := seqdb.Open(lib.Path)
+				if err != nil {
+					return fmt.Errorf("pipeline: opening %s: %w", lib.Path, err)
+				}
+				var readErr error
+				team.Run(func(r *xrt.Rank) {
+					recs, nBytes, err := fl.ReadPart(p, r.ID)
+					if err != nil {
+						readErr = err
+						return
+					}
+					r.ChargeIORead(nBytes)
+					parts[r.ID] = recs
+				})
+				if readErr != nil {
+					return fmt.Errorf("pipeline: reading %s: %w", lib.Path, readErr)
+				}
+				repairPairs(parts)
+			} else if lib.Path != "" {
+				fl, err := fastq.OpenSplit(lib.Path, p)
+				if err != nil {
+					return fmt.Errorf("pipeline: opening %s: %w", lib.Path, err)
+				}
+				var readErr error
+				team.Run(func(r *xrt.Rank) {
+					recs, err := fl.ReadPart(r.ID)
+					if err != nil {
+						readErr = err
+						return
+					}
+					r.ChargeIORead(fl.PartBytes(r.ID))
+					parts[r.ID] = recs
+				})
+				fl.Close()
+				if readErr != nil {
+					return fmt.Errorf("pipeline: reading %s: %w", lib.Path, readErr)
+				}
+				repairPairs(parts)
+			} else {
+				var bytes int64
+				for _, rec := range lib.Records {
+					bytes += int64(len(rec.ID) + len(rec.Seq) + len(rec.Qual) + 6)
+				}
+				for i := 0; i+1 < len(lib.Records); i += 2 {
+					r := (i / 2) % p
+					parts[r] = append(parts[r], lib.Records[i], lib.Records[i+1])
+				}
+				team.Run(func(r *xrt.Rank) { r.ChargeIORead(bytes / int64(p)) })
+			}
+			readLibs[li] = scaffold.ReadLib{
+				Name: lib.Name, ReadsByRank: parts, InsertHint: lib.InsertHint,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// all libraries feed k-mer analysis together
+	merged := make([][]fastq.Record, p)
+	for _, rl := range readLibs {
+		for r := range merged {
+			merged[r] = append(merged[r], rl.ReadsByRank[r]...)
+		}
+	}
+
+	// --- stage 1: k-mer analysis ---------------------------------------
+	_ = track("kmer-analysis", func() error {
+		res.KAnalysis = kanalysis.Run(team, merged, kanalysis.Options{
+			K:            cfg.K,
+			MinCount:     cfg.MinCount,
+			HeavyHitters: !cfg.DisableHeavyHitters,
+			Theta:        cfg.Theta,
+			HHMinCount:   cfg.HHMinCount,
+			AggBufSize:   cfg.AggBufSize,
+		})
+		return nil
+	})
+
+	// --- stage 2: contig generation ------------------------------------
+	_ = track("contig-generation", func() error {
+		res.Contigs = contig.Run(team, res.KAnalysis.Table, contig.Options{
+			K:          cfg.K,
+			Oracle:     cfg.Oracle,
+			AggBufSize: cfg.AggBufSize,
+		})
+		return nil
+	})
+
+	if cfg.ContigsOnly {
+		for _, c := range res.Contigs.All() {
+			res.FinalSeqs = append(res.FinalSeqs, c.Seq)
+		}
+		res.addTotal()
+		return res, nil
+	}
+
+	// --- stage 3: scaffolding ------------------------------------------
+	_ = track("scaffolding", func() error {
+		sOpt := cfg.Scaffold
+		sOpt.K = cfg.K
+		res.Scaffold = scaffold.Run(team, res.Contigs, res.KAnalysis.Table, readLibs, sOpt)
+		return nil
+	})
+	res.Timings = append(res.Timings, StageTiming{
+		Name:    "merAligner",
+		Virtual: res.Scaffold.AlignPhase.Virtual,
+	})
+
+	// --- stage 4: gap closing ------------------------------------------
+	_ = track("gap-closing", func() error {
+		res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, cfg.Gapclose)
+		return nil
+	})
+
+	res.FinalSeqs = res.Gapclose.ScaffoldSeqs
+
+	// additional scaffolding rounds (§5.3: wheat uses four)
+	for round := 2; round <= cfg.ScaffoldRounds; round++ {
+		ctgRes := contigResultFromSeqs(team, res.FinalSeqs)
+		sfx := fmt.Sprintf("-round%d", round)
+		_ = track("scaffolding"+sfx, func() error {
+			sOpt := cfg.Scaffold
+			sOpt.K = cfg.K
+			sOpt.DisableBubbles = true // no junction metadata on re-entry
+			res.Scaffold = scaffold.Run(team, ctgRes, res.KAnalysis.Table, readLibs, sOpt)
+			return nil
+		})
+		_ = track("gap-closing"+sfx, func() error {
+			res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, cfg.Gapclose)
+			return nil
+		})
+		res.FinalSeqs = res.Gapclose.ScaffoldSeqs
+	}
+	res.addTotal()
+	return res, nil
+}
+
+// contigResultFromSeqs re-enters scaffolding with a previous round's
+// scaffolds as the contig set, dealt round-robin across ranks.
+func contigResultFromSeqs(team *xrt.Team, seqs [][]byte) *contig.Result {
+	p := team.Config().Ranks
+	out := &contig.Result{Contigs: make([][]*contig.Contig, p)}
+	for i, seq := range seqs {
+		c := &contig.Contig{ID: int64(i + 1), Seq: seq}
+		out.Contigs[i%p] = append(out.Contigs[i%p], c)
+		out.NumContigs++
+	}
+	return out
+}
+
+func (r *Result) addTotal() {
+	var total StageTiming
+	total.Name = "total"
+	for _, t := range r.Timings {
+		if t.Name == "merAligner" { // subset of scaffolding, not additive
+			continue
+		}
+		total.Virtual += t.Virtual
+		total.Wall += t.Wall
+		total.Comm.Add(t.Comm)
+	}
+	r.Timings = append(r.Timings, total)
+}
+
+// repairPairs fixes mate pairing broken by byte-range splitting: when a
+// part begins with the second read of a pair, that read is moved to the
+// previous part.
+func repairPairs(parts [][]fastq.Record) {
+	for i := 1; i < len(parts); i++ {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		first := parts[i][0]
+		if !isMate2(first.ID) {
+			continue
+		}
+		// find the previous non-empty part
+		j := i - 1
+		for j >= 0 && len(parts[j]) == 0 {
+			j--
+		}
+		if j < 0 {
+			continue
+		}
+		last := parts[j][len(parts[j])-1]
+		if isMate1(last.ID) && sameBase(last.ID, first.ID) {
+			parts[j] = append(parts[j], first)
+			parts[i] = parts[i][1:]
+		}
+	}
+}
+
+func isMate1(id []byte) bool {
+	return len(id) >= 2 && id[len(id)-2] == '/' && id[len(id)-1] == '1'
+}
+
+func isMate2(id []byte) bool {
+	return len(id) >= 2 && id[len(id)-2] == '/' && id[len(id)-1] == '2'
+}
+
+func sameBase(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return string(a[:len(a)-1]) == string(b[:len(b)-1])
+}
+
+// SimulatedHuman builds the scaled human-like dataset used throughout the
+// experiment harness: a diploid genome with one short-insert library.
+func SimulatedHuman(seed int64, genomeLen int, coverage float64) ([]byte, []Library) {
+	rng := xrt.NewPrng(seed)
+	g := genome.HumanLike(rng, genomeLen)
+	hap2 := genome.Mutate(rng, g, 0.001)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage:   coverage,
+		Lib:        genome.Library{Name: "human395", ReadLen: 101, InsertMean: 395, InsertSD: 30},
+		Err:        genome.DefaultErrorModel(),
+		Haplotypes: [][]byte{hap2},
+	})
+	return g, []Library{{Name: "human395", Records: recs, InsertHint: 395}}
+}
+
+// SimulatedWheat builds the scaled wheat-like dataset: a highly repetitive
+// genome with a short-insert library plus two long-insert libraries, as in
+// the paper's wheat runs.
+func SimulatedWheat(seed int64, genomeLen int, coverage float64) ([]byte, []Library) {
+	rng := xrt.NewPrng(seed)
+	g := genome.WheatLike(rng, genomeLen)
+	var libs []Library
+	specs := []genome.Library{
+		{Name: "wheat500", ReadLen: 150, InsertMean: 500, InsertSD: 40},
+		{Name: "wheat1k", ReadLen: 100, InsertMean: 1000, InsertSD: 80},
+		{Name: "wheat4k", ReadLen: 100, InsertMean: 4200, InsertSD: 300},
+	}
+	covs := []float64{coverage * 0.7, coverage * 0.2, coverage * 0.1}
+	for i, spec := range specs {
+		recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+			Coverage: covs[i], Lib: spec, Err: genome.DefaultErrorModel(),
+		})
+		libs = append(libs, Library{Name: spec.Name, Records: recs, InsertHint: spec.InsertMean})
+	}
+	return g, libs
+}
+
+// SimulatedMetagenome builds the scaled wetlands-like dataset: many
+// species, log-normal abundances, flat k-mer histogram.
+func SimulatedMetagenome(seed int64, totalLen, species, pairs int) []Library {
+	rng := xrt.NewPrng(seed)
+	gs, ab := genome.Metagenome(rng, totalLen, species)
+	recs := genome.SimulateMetagenome(rng, gs, ab, pairs,
+		genome.Library{Name: "wetland", ReadLen: 100, InsertMean: 300, InsertSD: 30},
+		genome.DefaultErrorModel())
+	return []Library{{Name: "wetland", Records: recs, InsertHint: 300}}
+}

@@ -1,0 +1,295 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipmer/internal/fastq"
+	"hipmer/internal/genome"
+	"hipmer/internal/seqdb"
+	"hipmer/internal/stats"
+	"hipmer/internal/xrt"
+)
+
+func TestEndToEndReconstructsGenome(t *testing.T) {
+	rng := xrt.NewPrng(1)
+	g := genome.Random(rng, 30000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 35,
+		Lib:      genome.Library{Name: "e2e", ReadLen: 100, InsertMean: 350, InsertSD: 25},
+		Err:      genome.DefaultErrorModel(),
+	})
+	team := xrt.NewTeam(xrt.Config{Ranks: 8, RanksPerNode: 4})
+	res, err := Run(team, []Library{{Name: "e2e", Records: recs, InsertHint: 350}},
+		Config{K: 31, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalSeqs) == 0 {
+		t.Fatal("no output sequences")
+	}
+	v := stats.Validate(res.FinalSeqs, g)
+	if v.CoveredFrac < 0.95 {
+		t.Fatalf("assembly covers only %.3f of the reference", v.CoveredFrac)
+	}
+	if v.IdentityFrac < 0.999 {
+		t.Fatalf("assembly identity %.5f too low", v.IdentityFrac)
+	}
+	if v.Misassemblies > 0 {
+		t.Fatalf("%d misassemblies", v.Misassemblies)
+	}
+	s := stats.Compute(res.FinalSeqs)
+	if s.N50 < 10000 {
+		t.Fatalf("N50 %d too fragmented for a clean 30k genome", s.N50)
+	}
+}
+
+func TestTimingsRecorded(t *testing.T) {
+	rng := xrt.NewPrng(2)
+	g := genome.Random(rng, 8000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 20,
+		Lib:      genome.Library{Name: "t", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+	})
+	team := xrt.NewTeam(xrt.Config{Ranks: 4})
+	res, err := Run(team, []Library{{Name: "t", Records: recs, InsertHint: 300}},
+		Config{K: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"io", "kmer-analysis", "contig-generation",
+		"scaffolding", "merAligner", "gap-closing", "total"} {
+		ti := res.Timing(name)
+		if ti.Name != name {
+			t.Fatalf("missing stage timing %q", name)
+		}
+		// merAligner is a sub-timing and gap-closing may be free when the
+		// assembly has no gaps; everything else must consume time
+		if name != "merAligner" && name != "gap-closing" && ti.Virtual <= 0 {
+			t.Fatalf("stage %q has no virtual time", name)
+		}
+	}
+	total := res.Timing("total").Virtual
+	sum := res.Timing("io").Virtual + res.Timing("kmer-analysis").Virtual +
+		res.Timing("contig-generation").Virtual + res.Timing("scaffolding").Virtual +
+		res.Timing("gap-closing").Virtual
+	if total != sum {
+		t.Fatalf("total %v != sum of stages %v", total, sum)
+	}
+}
+
+func TestContigsOnlyMode(t *testing.T) {
+	libs := SimulatedMetagenome(3, 60000, 10, 4000)
+	team := xrt.NewTeam(xrt.Config{Ranks: 4})
+	res, err := Run(team, libs, Config{K: 21, ContigsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scaffold != nil || res.Gapclose != nil {
+		t.Fatal("scaffolding ran in contigs-only mode")
+	}
+	if len(res.FinalSeqs) == 0 {
+		t.Fatal("no contigs emitted")
+	}
+}
+
+func TestFromFastqFile(t *testing.T) {
+	rng := xrt.NewPrng(4)
+	g := genome.Random(rng, 12000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 30,
+		Lib:      genome.Library{Name: "f", ReadLen: 100, InsertMean: 320, InsertSD: 20},
+		Err:      genome.DefaultErrorModel(),
+	})
+	path := filepath.Join(t.TempDir(), "reads.fastq")
+	if err := os.WriteFile(path, fastq.Format(recs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	team := xrt.NewTeam(xrt.Config{Ranks: 5})
+	res, err := Run(team, []Library{{Name: "f", Path: path, InsertHint: 320}},
+		Config{K: 31, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stats.Validate(res.FinalSeqs, g)
+	if v.CoveredFrac < 0.93 {
+		t.Fatalf("file-based run covers only %.3f", v.CoveredFrac)
+	}
+	if io := res.Timing("io"); io.Comm.IOBytes == 0 {
+		t.Fatal("no I/O bytes charged for file input")
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2})
+	_, err := Run(team, []Library{{Name: "x", Path: "/nonexistent/reads.fastq"}},
+		Config{K: 21})
+	if err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestRepairPairs(t *testing.T) {
+	mk := func(id string) fastq.Record {
+		return fastq.Record{ID: []byte(id), Seq: []byte("A"), Qual: []byte("I")}
+	}
+	parts := [][]fastq.Record{
+		{mk("p0/1"), mk("p0/2"), mk("p1/1")},
+		{mk("p1/2"), mk("p2/1"), mk("p2/2")},
+	}
+	repairPairs(parts)
+	if len(parts[0]) != 4 || len(parts[1]) != 2 {
+		t.Fatalf("repair failed: %d/%d", len(parts[0]), len(parts[1]))
+	}
+	if string(parts[0][3].ID) != "p1/2" {
+		t.Fatalf("wrong record moved: %s", parts[0][3].ID)
+	}
+}
+
+func TestMultiLibraryWheat(t *testing.T) {
+	g, libs := SimulatedWheat(5, 40000, 25)
+	team := xrt.NewTeam(xrt.Config{Ranks: 6})
+	res, err := Run(team, libs, Config{K: 31, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KAnalysis.HeavyHitters == 0 {
+		t.Fatal("wheat dataset produced no heavy hitters")
+	}
+	// Repeats collapse to one contig per family, so only one copy of each
+	// repeat region is covered; the bar reflects unique sequence plus one
+	// copy per family.
+	v := stats.Validate(res.FinalSeqs, g)
+	if v.CoveredFrac < 0.30 {
+		t.Fatalf("wheat assembly covers only %.3f (repetitive, but too low)", v.CoveredFrac)
+	}
+	if v.IdentityFrac < 0.99 {
+		t.Fatalf("wheat assembly identity %.4f too low", v.IdentityFrac)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	rng := xrt.NewPrng(6)
+	g := genome.Random(rng, 10000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 25,
+		Lib:      genome.Library{Name: "d", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+	})
+	run := func() string {
+		team := xrt.NewTeam(xrt.Config{Ranks: 4})
+		res, err := Run(team, []Library{{Name: "d", Records: recs, InsertHint: 300}},
+			Config{K: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, s := range res.FinalSeqs {
+			out += string(s) + "|"
+		}
+		return out
+	}
+	if run() != run() {
+		t.Fatal("pipeline output not deterministic")
+	}
+}
+
+func TestMultiRoundScaffolding(t *testing.T) {
+	// a dataset whose long-insert library can only be exploited once the
+	// short-insert round has built intermediate scaffolds
+	rng := xrt.NewPrng(21)
+	g := genome.Random(rng, 40000)
+	short, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 25,
+		Lib:      genome.Library{Name: "pe300", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+		Err:      genome.DefaultErrorModel(),
+	})
+	long, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 8,
+		Lib:      genome.Library{Name: "mp3k", ReadLen: 100, InsertMean: 3000, InsertSD: 200},
+		Err:      genome.DefaultErrorModel(),
+	})
+	libs := []Library{
+		{Name: "pe300", Records: short, InsertHint: 300},
+		{Name: "mp3k", Records: long, InsertHint: 3000},
+	}
+	run := func(rounds int) *Result {
+		team := xrt.NewTeam(xrt.Config{Ranks: 6})
+		res, err := Run(team, libs, Config{K: 31, MinCount: 3, ScaffoldRounds: rounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	two := run(2)
+	s1 := stats.Compute(one.FinalSeqs)
+	s2 := stats.Compute(two.FinalSeqs)
+	if s2.Sequences > s1.Sequences {
+		t.Fatalf("round 2 increased scaffold count: %d -> %d", s1.Sequences, s2.Sequences)
+	}
+	if s2.N50 < s1.N50 {
+		t.Fatalf("round 2 reduced N50: %d -> %d", s1.N50, s2.N50)
+	}
+	if two.Timing("scaffolding-round2").Virtual <= 0 {
+		t.Fatal("round-2 timing not recorded")
+	}
+	// quality must not degrade
+	v := stats.Validate(two.FinalSeqs, g)
+	if v.IdentityFrac < 0.999 || v.Misassemblies > 0 {
+		t.Fatalf("multi-round degraded quality: %+v", v)
+	}
+}
+
+func TestFromSeqDBFile(t *testing.T) {
+	rng := xrt.NewPrng(30)
+	g := genome.Random(rng, 12000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 30,
+		Lib:      genome.Library{Name: "s", ReadLen: 100, InsertMean: 320, InsertSD: 20},
+		Err:      genome.DefaultErrorModel(),
+	})
+	path := filepath.Join(t.TempDir(), "reads.seqdb")
+	if err := seqdb.WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	team := xrt.NewTeam(xrt.Config{Ranks: 5})
+	res, err := Run(team, []Library{{Name: "s", Path: path, InsertHint: 320}},
+		Config{K: 31, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stats.Validate(res.FinalSeqs, g)
+	if v.CoveredFrac < 0.93 {
+		t.Fatalf("seqdb-based run covers only %.3f", v.CoveredFrac)
+	}
+	// the binary container moves fewer bytes than FASTQ would
+	if io := res.Timing("io"); io.Comm.IOBytes == 0 {
+		t.Fatal("no I/O bytes charged")
+	}
+}
+
+func TestLargeKFullPipeline(t *testing.T) {
+	// k=51 is the paper's wheat k-mer length and exercises the two-word
+	// packed k-mer representation through every stage
+	rng := xrt.NewPrng(40)
+	g := genome.Random(rng, 20000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 30,
+		Lib:      genome.Library{Name: "k51", ReadLen: 150, InsertMean: 400, InsertSD: 25},
+		Err:      genome.DefaultErrorModel(),
+	})
+	team := xrt.NewTeam(xrt.Config{Ranks: 6})
+	res, err := Run(team, []Library{{Name: "k51", Records: recs, InsertHint: 400}},
+		Config{K: 51, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stats.Validate(res.FinalSeqs, g)
+	if v.CoveredFrac < 0.93 || v.IdentityFrac < 0.999 {
+		t.Fatalf("k=51 assembly poor: %+v", v)
+	}
+	if v.Misassemblies > 0 {
+		t.Fatalf("k=51: %d misassemblies", v.Misassemblies)
+	}
+}

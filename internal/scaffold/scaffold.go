@@ -1,0 +1,319 @@
+// Package scaffold implements stage 3 of the pipeline (paper §4): the
+// seven parallel scaffolding modules between contig generation and gap
+// closing — contig depths and termination states, bubble identification
+// and merging, read-to-contig alignment (via the aligner package),
+// insert-size estimation, splint and span location, contig-link
+// generation, and ordering/orientation of contigs into scaffolds.
+package scaffold
+
+import (
+	"fmt"
+	"math"
+
+	"hipmer/internal/aligner"
+	"hipmer/internal/contig"
+	"hipmer/internal/dht"
+	"hipmer/internal/fastq"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/kmer"
+	"hipmer/internal/xrt"
+)
+
+// Options configures scaffolding.
+type Options struct {
+	// K is the assembly k-mer length (for overlaps and depth windows).
+	K int
+	// MinLinkSupport is the number of concordant read observations needed
+	// before a splint/span link is trusted (default 2).
+	MinLinkSupport int
+	// MinContigLen excludes shorter contigs from scaffolding (default k).
+	MinContigLen int
+	// PopBubbles enables diploid bubble merging (default true; set
+	// DisableBubbles to turn off).
+	DisableBubbles bool
+	// Aligner passes through seed-and-extend options.
+	Aligner aligner.Options
+	// InsertTrimFrac trims this fraction from each histogram tail when
+	// estimating insert sizes (default 0.01).
+	InsertTrimFrac float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 31
+	}
+	if o.MinLinkSupport <= 0 {
+		o.MinLinkSupport = 2
+	}
+	if o.MinContigLen <= 0 {
+		o.MinContigLen = o.K
+	}
+	if o.InsertTrimFrac <= 0 {
+		o.InsertTrimFrac = 0.01
+	}
+	return o
+}
+
+// SContig is a scaffolding contig: a (possibly bubble-merged) contig with
+// its mean k-mer depth and termination metadata.
+type SContig struct {
+	ID           int64
+	Seq          []byte
+	Depth        float64
+	TermL, TermR byte
+	NbrL, NbrR   kmer.Kmer
+	HasNbrL      bool
+	HasNbrR      bool
+	// Members lists the original contig IDs folded into this contig by
+	// bubble merging (just the own ID when unmerged).
+	Members []int64
+	// PoppedOut marks bubble losers excluded from scaffolding.
+	PoppedOut bool
+}
+
+// ReadLib is one read library: paired reads (records 2i and 2i+1 are
+// mates) distributed across ranks.
+type ReadLib struct {
+	Name        string
+	ReadsByRank [][]fastq.Record
+	// InsertHint is used when too few pairs map within one contig to
+	// estimate the insert size (tiny test datasets).
+	InsertHint int
+}
+
+// EndL / EndR name the two ends of a contig in link records.
+const (
+	EndL byte = 'L'
+	EndR byte = 'R'
+)
+
+// Link is a consolidated tie between two contig ends: leaving contig A
+// via end EndA arrives at contig B via end EndB, with an estimated gap
+// (negative = the contigs overlap, a splint).
+type Link struct {
+	A, B       int64
+	EndA, EndB byte
+	Gap        float64
+	GapSD      float64
+	Splints    int
+	Spans      int
+}
+
+// Support returns the total read support of the link.
+func (l Link) Support() int { return l.Splints + l.Spans }
+
+// Member is one placed contig within a scaffold.
+type Member struct {
+	ContigID int64
+	Flipped  bool
+	// GapBefore is the estimated gap between this member and the previous
+	// one (unused for the first member; negative means overlap).
+	GapBefore int
+}
+
+// Scaffold is an ordered, oriented chain of contigs.
+type Scaffold struct {
+	ID      int
+	Members []Member
+}
+
+// Result is the output of the scaffolding stage.
+type Result struct {
+	// Contigs maps contig ID → scaffolding contig (after bubble merging).
+	Contigs map[int64]*SContig
+	// ContigsByRank distributes the surviving contigs for downstream
+	// parallel phases (aligner index ownership).
+	ContigsByRank [][]*SContig
+	// Scaffolds in decreasing total-length order.
+	Scaffolds []*Scaffold
+	// Alignments per library: alns[lib][rank][readIdx] = alignments.
+	Alignments [][][][]aligner.Alignment
+	// Index is the seed index over merged contigs (reused by gap closing).
+	Index *aligner.Index
+	// InsertSize per library (mean, sd).
+	InsertMean, InsertSD []float64
+	// Links that survived support filtering.
+	Links []Link
+	// Bubbles is the number of popped bubble contigs.
+	Bubbles int
+	// Phase timings.
+	DepthPhase, BubblePhase, AlignPhase, InsertPhase,
+	SplintSpanPhase, OrderPhase xrt.PhaseStats
+}
+
+// Run executes all scaffolding modules.
+func Run(team *xrt.Team, ctgRes *contig.Result,
+	kt *dht.Table[kmer.Kmer, kanalysis.KmerData],
+	libs []ReadLib, opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+
+	// §4.1 contig depths and termination states
+	scByRank := computeDepths(team, ctgRes, kt, opt, res)
+
+	// §4.2 bubble identification and path compression
+	merged, mergedByRank := mergeBubbles(team, scByRank, opt, res)
+	res.Contigs = merged
+	res.ContigsByRank = mergedByRank
+
+	// §4.3 read-to-contig alignment (merAligner)
+	alnOpt := opt.Aligner
+	if alnOpt.SeedLen == 0 {
+		alnOpt.SeedLen = opt.K
+	}
+	ctgForIndex := make([][]*contig.Contig, len(mergedByRank))
+	for r, cs := range mergedByRank {
+		for _, sc := range cs {
+			if sc.PoppedOut || len(sc.Seq) < opt.MinContigLen {
+				continue
+			}
+			ctgForIndex[r] = append(ctgForIndex[r], &contig.Contig{ID: sc.ID, Seq: sc.Seq})
+		}
+	}
+	vStart := team.VirtualNow()
+	res.Index = aligner.BuildIndex(team, ctgForIndex, alnOpt)
+	for _, lib := range libs {
+		res.Alignments = append(res.Alignments, aligner.AlignAll(team, res.Index, lib.ReadsByRank))
+	}
+	res.AlignPhase = xrt.PhaseStats{Virtual: team.VirtualNow() - vStart}
+
+	// §4.4 insert-size estimation per library
+	estimateInserts(team, libs, res, opt)
+
+	// §4.5–4.6 splints, spans, and link generation
+	links := generateLinks(team, libs, merged, res, opt)
+	res.Links = links
+
+	// §4.7 ordering and orientation
+	orderAndOrient(team, merged, links, res, opt)
+	return res
+}
+
+// ScaffoldSeq renders a scaffold's sequence: members oriented and joined;
+// positive gaps become runs of N, negative gaps (splint overlaps) are
+// merged when the overlapping bases agree, else a single N.
+func (r *Result) ScaffoldSeq(s *Scaffold) []byte {
+	var out []byte
+	for i, m := range s.Members {
+		sc := r.Contigs[m.ContigID]
+		seq := sc.Seq
+		if m.Flipped {
+			seq = kmer.RevCompString(seq)
+		}
+		if i == 0 {
+			out = append(out, seq...)
+			continue
+		}
+		gap := m.GapBefore
+		if gap > 0 {
+			for j := 0; j < gap; j++ {
+				out = append(out, 'N')
+			}
+			out = append(out, seq...)
+			continue
+		}
+		// gap <= 0: an estimated overlap (or abutment). Search near the
+		// estimate for an exact suffix/prefix match; when none verifies,
+		// fall back to a single N so the join cannot shift the frame of
+		// everything downstream.
+		if n, ok := exactOverlap(out, seq, -gap); ok {
+			out = append(out, seq[n:]...)
+		} else {
+			out = append(out, 'N')
+			out = append(out, seq...)
+		}
+	}
+	return out
+}
+
+// minVerifiedOverlap is the shortest overlap that exact matching can
+// confirm trustworthily: shorter matches succeed by chance (a 1-base
+// "overlap" matches 25% of the time) and would silently shift the frame
+// of the joined sequence.
+const minVerifiedOverlap = 16
+
+// exactOverlap searches overlap lengths near the estimate for an exact,
+// long-enough suffix/prefix match.
+func exactOverlap(a, b []byte, est int) (int, bool) {
+	for d := 0; d <= 8; d++ {
+		for _, n := range []int{est - d, est + d} {
+			if n < minVerifiedOverlap || n > len(a) || n > len(b) {
+				continue
+			}
+			if string(a[len(a)-n:]) == string(b[:n]) {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// String renders a compact description of a scaffold.
+func (s *Scaffold) String() string {
+	out := fmt.Sprintf("scaffold%d[", s.ID)
+	for i, m := range s.Members {
+		if i > 0 {
+			out += fmt.Sprintf(" -(%d)- ", m.GapBefore)
+		}
+		dir := "+"
+		if m.Flipped {
+			dir = "-"
+		}
+		out += fmt.Sprintf("c%d%s", m.ContigID, dir)
+	}
+	return out + "]"
+}
+
+// trimmedMeanSD computes mean and standard deviation of a histogram after
+// trimming frac of the mass from each tail.
+func trimmedMeanSD(hist map[int]int64, frac float64) (mean, sd float64, n int64) {
+	var total int64
+	lo, hi := math.MaxInt32, math.MinInt32
+	for v, c := range hist {
+		total += c
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	trim := int64(float64(total) * frac)
+	// walk from both ends removing trim mass
+	loCut, hiCut := lo, hi
+	var acc int64
+	for v := lo; v <= hi && acc < trim; v++ {
+		if c := hist[v]; c > 0 {
+			acc += c
+			loCut = v
+		}
+	}
+	acc = 0
+	for v := hi; v >= lo && acc < trim; v-- {
+		if c := hist[v]; c > 0 {
+			acc += c
+			hiCut = v
+		}
+	}
+	var sum, sumSq int64 // integer accumulation: order-independent
+	for v, c := range hist {
+		if v < loCut || v > hiCut {
+			continue
+		}
+		sum += int64(v) * c
+		sumSq += int64(v) * int64(v) * c
+		n += c
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	mean = float64(sum) / float64(n)
+	variance := float64(sumSq)/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance), n
+}

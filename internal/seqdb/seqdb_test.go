@@ -1,0 +1,259 @@
+package seqdb
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"hipmer/internal/fastq"
+)
+
+func randRecords(rng *rand.Rand, n int) []fastq.Record {
+	recs := make([]fastq.Record, n)
+	for i := range recs {
+		idLen := 1 + rng.Intn(30)
+		seqLen := 1 + rng.Intn(250)
+		id := make([]byte, idLen)
+		for j := range id {
+			id[j] = byte('a' + rng.Intn(26))
+		}
+		seq := make([]byte, seqLen)
+		qual := make([]byte, seqLen)
+		for j := range seq {
+			seq[j] = "ACGTN"[rng.Intn(5)]
+			qual[j] = byte(33 + rng.Intn(42))
+		}
+		recs[i] = fastq.Record{ID: id, Seq: seq, Qual: qual}
+	}
+	return recs
+}
+
+func recordsEqual(a, b []fastq.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].ID, b[i].ID) || !bytes.Equal(a[i].Seq, b[i].Seq) ||
+			!bytes.Equal(a[i].Qual, b[i].Qual) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, BlockRecords - 1, BlockRecords, BlockRecords + 1, 3000} {
+		recs := randRecords(rng, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		f, err := Parse(buf.Bytes())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var got []fastq.Record
+		for b := 0; b < f.Blocks(); b++ {
+			rs, err := f.ReadBlock(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, rs...)
+		}
+		if !recordsEqual(recs, got) {
+			t.Fatalf("n=%d: roundtrip mismatch", n)
+		}
+	}
+}
+
+func TestNsPreserved(t *testing.T) {
+	recs := []fastq.Record{{
+		ID:   []byte("r1"),
+		Seq:  []byte("NACGTNNACGTN"),
+		Qual: []byte("IIIIIIIIIIII"),
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0].Seq) != "NACGTNNACGTN" {
+		t.Fatalf("Ns lost: %s", got[0].Seq)
+	}
+}
+
+func TestParallelPartsCoverExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := randRecords(rng, 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 3, 7, 16, 100} {
+		var all []fastq.Record
+		var totalBytes int64
+		for i := 0; i < parts; i++ {
+			rs, nb, err := f.ReadPart(parts, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, rs...)
+			totalBytes += nb
+		}
+		if !recordsEqual(recs, all) {
+			t.Fatalf("parts=%d: split lost or duplicated records", parts)
+		}
+		if totalBytes <= 0 {
+			t.Fatalf("parts=%d: no bytes accounted", parts)
+		}
+	}
+}
+
+func TestCompressionBeatsFastq(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := randRecords(rng, 2000)
+	var sdb bytes.Buffer
+	if err := Write(&sdb, recs); err != nil {
+		t.Fatal(err)
+	}
+	fq := fastq.Format(recs)
+	if sdb.Len() >= len(fq) {
+		t.Fatalf("seqdb (%d bytes) not smaller than FASTQ (%d bytes)", sdb.Len(), len(fq))
+	}
+}
+
+func TestCorruptInputsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	recs := randRecords(rng, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Parse(data[:4]); err == nil {
+		t.Fatal("accepted truncated file")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// corrupt index offset
+	bad2 := append([]byte(nil), data...)
+	for i := len(bad2) - 8; i < len(bad2); i++ {
+		bad2[i] = 0xff
+	}
+	if _, err := Parse(bad2); err == nil {
+		t.Fatal("accepted corrupt index offset")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs := randRecords(rng, 100)
+	path := filepath.Join(t.TempDir(), "reads.seqdb")
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.ReadPart(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(recs, got) {
+		t.Fatal("file roundtrip mismatch")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randRecords(rng, int(nRaw)%50)
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		f, err := Parse(buf.Bytes())
+		if err != nil {
+			return false
+		}
+		got, _, err := f.ReadPart(1, 0)
+		if err != nil {
+			return false
+		}
+		return recordsEqual(recs, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeqDBRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	recs := randRecords(rng, 10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Parse(buf.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := f.ReadPart(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastqVsSeqDB compares parse throughput of the two containers,
+// the §3.3 comparison ("close to the I/O bandwidth achieved by reading
+// SeqDB, up to compression factor differences").
+func BenchmarkFastqVsSeqDB(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randRecords(rng, 10000)
+	fq := fastq.Format(recs)
+	var sdb bytes.Buffer
+	if err := Write(&sdb, recs); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fastq", func(b *testing.B) {
+		b.SetBytes(int64(len(fq)))
+		for i := 0; i < b.N; i++ {
+			if _, err := fastq.ParseAll(fq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seqdb", func(b *testing.B) {
+		b.SetBytes(int64(sdb.Len()))
+		for i := 0; i < b.N; i++ {
+			f, err := Parse(sdb.Bytes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := f.ReadPart(1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

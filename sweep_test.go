@@ -1,0 +1,48 @@
+package hipmer
+
+import "testing"
+
+func TestSweepKExploresAndPicksBest(t *testing.T) {
+	g := RandomGenome(31, 20000)
+	lib := SimReads(32, g, 30, 100, 350, 25)
+	results, best, err := SweepK([]Library{lib}, []int{21, 31, 41},
+		Options{MinCount: 3, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].OracleUsed {
+		t.Fatal("first assembly must not use an oracle")
+	}
+	for _, r := range results[1:] {
+		if !r.OracleUsed {
+			t.Fatalf("k=%d did not reuse the draft oracle", r.K)
+		}
+	}
+	if best < 0 || best >= 3 {
+		t.Fatalf("bad best index %d", best)
+	}
+	for _, r := range results {
+		v := r.Result.Validate(g)
+		if v.CoveredFrac < 0.9 {
+			t.Fatalf("k=%d covers only %.3f", r.K, v.CoveredFrac)
+		}
+		if r.Result.Stats.N50 <= 0 {
+			t.Fatalf("k=%d: no N50", r.K)
+		}
+	}
+	// best must actually have the max N50
+	for _, r := range results {
+		if r.Result.Stats.N50 > results[best].Result.Stats.N50 {
+			t.Fatal("best index is not the max-N50 assembly")
+		}
+	}
+}
+
+func TestSweepKEmpty(t *testing.T) {
+	if _, _, err := SweepK(nil, nil, Options{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
