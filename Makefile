@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-sensitive packages, including
+# the DHT stress test (concurrent Get/Put/Mutate/Flush across ranks).
+race:
+	$(GO) test -race ./internal/...
+
+# Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
+# comparing striped-mutex, frozen lock-free, and frozen+cached Get paths.
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1x .
+	$(GO) test -run xxx -bench BenchmarkDHTGet ./internal/dht/

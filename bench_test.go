@@ -38,6 +38,7 @@ func benchScale() expt.Scale {
 // BenchmarkFig6KmerAnalysis regenerates Figure 6: strong scaling of k-mer
 // analysis on wheat-like data, Default vs Heavy Hitters.
 func BenchmarkFig6KmerAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	var rows []expt.Fig6Row
 	for i := 0; i < b.N; i++ {
@@ -52,6 +53,7 @@ func BenchmarkFig6KmerAnalysis(b *testing.B) {
 // BenchmarkTable1Traversal regenerates Table 1: communication-avoiding
 // traversal speedups (and Table 2's off-node percentages as metrics).
 func BenchmarkTable1Traversal(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	var rows []expt.OracleRow
 	for i := 0; i < b.N; i++ {
@@ -66,6 +68,7 @@ func BenchmarkTable1Traversal(b *testing.B) {
 // BenchmarkTable2OffNodeReduction reports Table 2's headline quantity:
 // the reduction in off-node communication from the oracle layouts.
 func BenchmarkTable2OffNodeReduction(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	var rows []expt.OracleRow
 	for i := 0; i < b.N; i++ {
@@ -112,6 +115,7 @@ func BenchmarkFig8EndToEndWheat(b *testing.B) {
 
 func benchSweep(b *testing.B, dataset string, metric func([]expt.SweepRow) (float64, string)) {
 	b.Helper()
+	b.ReportAllocs()
 	sc := benchScale()
 	var rows []expt.SweepRow
 	for i := 0; i < b.N; i++ {
@@ -128,6 +132,7 @@ func benchSweep(b *testing.B, dataset string, metric func([]expt.SweepRow) (floa
 // BenchmarkTable3Metagenome regenerates Table 3: metagenome k-mer
 // analysis and contig generation at two concurrencies with I/O separate.
 func BenchmarkTable3Metagenome(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	var rows []expt.Table3Row
 	for i := 0; i < b.N; i++ {
@@ -140,6 +145,7 @@ func BenchmarkTable3Metagenome(b *testing.B) {
 // BenchmarkCompareAssemblers regenerates the §5.6 comparison: HipMer vs
 // the Ray-like, ABySS-like, and serial-Meraculous baselines.
 func BenchmarkCompareAssemblers(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	var rows []expt.CompareRow
 	for i := 0; i < b.N; i++ {
@@ -152,14 +158,21 @@ func BenchmarkCompareAssemblers(b *testing.B) {
 
 // BenchmarkPipelineEndToEnd measures one full assembly (wall time of the
 // simulation itself, not virtual time) — the practical cost of running
-// this reproduction.
+// this reproduction. The software-cache hit rate across all lookup-heavy
+// stages (traversal, seed lookups, depths, gap verification) is reported
+// as a metric.
 func BenchmarkPipelineEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	_, libs := pipeline.SimulatedHuman(5, 40000, 25)
 	b.ResetTimer()
+	var stats xrt.CommStats
 	for i := 0; i < b.N; i++ {
 		team := xrt.NewTeam(xrt.Config{Ranks: 32, RanksPerNode: 8})
 		if _, err := pipeline.Run(team, libs, pipeline.Config{K: 31, MinCount: 3}); err != nil {
 			b.Fatal(err)
 		}
+		stats = team.AggStats()
 	}
+	b.ReportMetric(stats.CacheHitRate(), "cacheHitRate")
+	b.ReportMetric(stats.OffNodeLookupFrac()*100, "offnodeLookup%")
 }

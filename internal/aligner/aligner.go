@@ -38,6 +38,11 @@ type Options struct {
 	// against the same contig then cost local time only). 0 uses the
 	// default of 1024; negative disables caching.
 	CacheContigs int
+	// CacheSeeds is the per-rank direct-mapped software-cache slot count
+	// in front of remote seed lookups (the second merAligner cache of the
+	// companion paper: overlapping reads look up the same seed k-mers).
+	// 0 uses the default of 8192 slots; negative disables caching.
+	CacheSeeds int
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +69,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheContigs == 0 {
 		o.CacheContigs = 1024
+	}
+	if o.CacheSeeds == 0 {
+		o.CacheSeeds = 8192
+	} else if o.CacheSeeds < 0 {
+		o.CacheSeeds = 0
 	}
 	return o
 }
@@ -160,12 +170,22 @@ func BuildIndex(team *xrt.Team, contigsByRank [][]*contig.Contig, opt Options) *
 			idx.numCtgs++
 		}
 	}
+	// every contig position contributes one seed, so total contig bases
+	// bound the index size
+	var totalBases int64
+	for _, cs := range contigsByRank {
+		for _, c := range cs {
+			totalBases += int64(len(c.Seq))
+		}
+	}
 	idx.seeds = dht.New[kmer.Kmer, hitList](team, dht.Options[kmer.Kmer]{
-		Hash:      func(km kmer.Kmer) uint64 { return km.Hash(0x5eed1d) },
-		ItemBytes: 16 + 14,
+		Hash:          func(km kmer.Kmer) uint64 { return km.Hash(0x5eed1d) },
+		ItemBytes:     16 + 14,
+		ExpectedItems: totalBases,
+		CacheSlots:    opt.CacheSeeds,
 	}, nil)
 	cap := opt.MaxSeedHits
-	idx.seeds.SetApply(func(_ int, k kmer.Kmer, in hitList, shard map[kmer.Kmer]hitList) {
+	idx.seeds.SetApply(func(_, _ int, k kmer.Kmer, in hitList, shard map[kmer.Kmer]hitList) {
 		cur := shard[k]
 		if cur.saturated {
 			return
@@ -192,6 +212,10 @@ func BuildIndex(team *xrt.Team, contigsByRank [][]*contig.Contig, opt Options) *
 		}
 		idx.seeds.Flush(r)
 		r.Barrier()
+
+		// the index is read-only from here on: alignment serves seed
+		// lookups lock-free through the per-rank software cache
+		idx.seeds.Freeze(r)
 	})
 	idx.seeds.SetApply(nil)
 	return idx

@@ -90,7 +90,8 @@ func (c *Contig) Depth(k int) float64 {
 // Result carries the outputs of contig generation.
 type Result struct {
 	// Graph is the de Bruijn graph: canonical UU k-mer → Node, with each
-	// node's Contig field set after traversal.
+	// node's Contig field set after traversal. It is returned frozen
+	// (read-only); callers needing to mutate it must Thaw first.
 	Graph *dht.Table[kmer.Kmer, Node]
 	// Contigs holds the completed contigs per generating rank; global IDs
 	// are contiguous from 1 and sorted within each rank.
@@ -125,10 +126,13 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 	opt = opt.withDefaults()
 	res := &Result{}
 
+	// UU k-mers are a subset of the k-mer table, so its entry count is a
+	// safe pre-sizing upper bound for the graph's stripe maps.
 	gOpt := dht.Options[kmer.Kmer]{
-		Hash:       graphHash,
-		ItemBytes:  16 + 8,
-		AggBufSize: opt.AggBufSize,
+		Hash:          graphHash,
+		ItemBytes:     16 + 8,
+		AggBufSize:    opt.AggBufSize,
+		ExpectedItems: kt.Len(),
 	}
 	if opt.Oracle != nil {
 		gOpt.Place = opt.Oracle.Place
@@ -166,7 +170,7 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 	// sequences, so numbering is deterministic regardless of which rank's
 	// walk produced a contig or in what order walks completed.
 	// The apply hook updates only the Contig field so node data survives.
-	graph.SetApply(func(_ int, k kmer.Kmer, in Node, shard map[kmer.Kmer]Node) {
+	graph.SetApply(func(_, _ int, k kmer.Kmer, in Node, shard map[kmer.Kmer]Node) {
 		if n, ok := shard[k]; ok {
 			n.Contig = in.Contig
 			shard[k] = n
@@ -209,6 +213,10 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 		}
 		graph.Flush(r)
 		r.Barrier()
+
+		// contig generation is done mutating the graph; downstream
+		// consumers (validation, output) only read — publish it frozen.
+		graph.Freeze(r)
 	})
 	graph.SetApply(nil)
 	res.Contigs = contigsByRank

@@ -13,14 +13,29 @@
 //     whose locality Table 2 of the paper reports.
 //   - Aggregating stores (Put): updates are buffered per destination rank
 //     and flushed as one message per full buffer, the optimization HipMer
-//     uses for hash-table construction (§4.1, §4.6).
+//     uses for hash-table construction (§4.1, §4.6). Stores whose owner is
+//     the calling rank skip the buffer entirely and apply in place — the
+//     local-vs-remote store distinction of the paper.
 //
-// Physically everything is an in-process sharded map guarded by mutexes;
-// the xrt cost layer supplies the distributed-memory semantics of interest.
+// Concurrency is phase-aware. During construction each shard is split into
+// power-of-two lock stripes so ranks flushing into one owner do not
+// funnel through a single mutex. The pipeline's lookup-heavy stages
+// (contig traversal terminations, merAligner seeding, splint/span
+// assessment, gap-closing verification) run against tables that are no
+// longer mutated; Freeze publishes every stripe map as immutable and Get
+// is then served lock-free, optionally through a per-rank direct-mapped
+// software cache in front of remote lookups (the merAligner single-node
+// optimization of the companion paper). Writes to a frozen table panic;
+// Thaw restores writability and discards the caches, whose coherence is
+// only guaranteed while the table is frozen.
+//
+// Physically everything is an in-process sharded map; the xrt cost layer
+// supplies the distributed-memory semantics of interest.
 package dht
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hipmer/internal/xrt"
 )
@@ -41,13 +56,35 @@ type Options[K comparable] struct {
 	// rank. 1 disables aggregation (one message per store, the behaviour
 	// the baselines use). Defaults to 512.
 	AggBufSize int
+	// Stripes is the number of lock stripes per shard (rounded up to a
+	// power of two). Construction-time flushes and traversal claims from
+	// different ranks contend only when they land on the same stripe of
+	// the same owner. Defaults to 8.
+	Stripes int
+	// ExpectedItems pre-sizes the stripe maps from a global expected entry
+	// count (e.g. the HyperLogLog cardinality estimate of k-mer analysis),
+	// eliminating incremental rehashing during construction. 0 means no
+	// pre-sizing.
+	ExpectedItems int64
+	// CacheSlots enables a per-rank direct-mapped software cache (rounded
+	// up to a power of two slots) consulted by Get for remote keys while
+	// the table is frozen. Hits cost local time and are counted in the
+	// xrt cache statistics; misses fill the slot (including negative
+	// entries for absent keys). 0 disables caching.
+	CacheSlots int
 }
 
 // ApplyFunc is an owner-side store handler: it runs under the owning
-// shard's lock with direct access to the shard map, letting callers attach
-// owner-local state (e.g. the per-owner Bloom filters of k-mer analysis)
-// to the application of aggregated stores.
-type ApplyFunc[K comparable, V any] func(owner int, k K, incoming V, shard map[K]V)
+// stripe's lock with direct access to the stripe map holding (or due to
+// hold) the key, letting callers attach owner-side state to the
+// application of aggregated stores. Handlers must only touch the passed
+// key's entry: other keys of the shard may live in other stripe maps.
+// Only the (owner, stripe) lock is held, so handler state shared across
+// a whole owner would race under concurrent flushes from different
+// ranks; key any auxiliary state by owner*Stripes()+stripe instead (a
+// key always maps to the same stripe, so per-stripe state partitions the
+// keys exactly — e.g. the Bloom filters of k-mer analysis).
+type ApplyFunc[K comparable, V any] func(owner, stripe int, k K, incoming V, shard map[K]V)
 
 // Table is a distributed hash table of K→V with a user-supplied merge
 // function applied when a Put lands on an existing key.
@@ -57,8 +94,11 @@ type Table[K comparable, V any] struct {
 	merge func(old V, incoming V, exists bool) V
 	apply ApplyFunc[K, V] // overrides merge when non-nil
 
-	shards []shard[K, V]
-	locals []localState[K, V]
+	stripeMask uint64
+	frozen     atomic.Bool
+	shards     []shard[K, V]
+	locals     []localState[K, V]
+	caches     []*readCache[K, V] // per rank; non-nil only while frozen
 }
 
 // SetApply installs an owner-side apply hook that replaces the merge
@@ -66,19 +106,45 @@ type Table[K comparable, V any] struct {
 // phase is mutating the table.
 func (t *Table[K, V]) SetApply(fn ApplyFunc[K, V]) { t.apply = fn }
 
-type shard[K comparable, V any] struct {
+// stripe is one lock-striped fragment of a shard. The padding keeps
+// neighbouring stripe locks off one cache line.
+type stripe[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]V
-	_  [32]byte // reduce false sharing between shard locks
+	_  [40]byte
+}
+
+type shard[K comparable, V any] struct {
+	stripes []stripe[K, V]
 }
 
 type kv[K comparable, V any] struct {
 	k K
 	v V
+	h uint64 // key hash, computed once at Put time
 }
 
 type localState[K comparable, V any] struct {
 	bufs [][]kv[K, V] // per destination rank
+}
+
+// remix decorrelates the stripe/cache index from the placement function:
+// placement consumes h (mod p or the oracle vector), so stripe selection
+// must not reuse the same bits or every key of a shard would collapse
+// onto one stripe.
+func remix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // New creates a table across the team. merge resolves Put collisions:
@@ -95,42 +161,172 @@ func New[K comparable, V any](team *xrt.Team, opt Options[K],
 	if opt.AggBufSize <= 0 {
 		opt.AggBufSize = 512
 	}
+	if opt.Stripes <= 0 {
+		opt.Stripes = 8
+	}
+	opt.Stripes = ceilPow2(opt.Stripes)
+	if opt.CacheSlots > 0 {
+		opt.CacheSlots = ceilPow2(opt.CacheSlots)
+	} else {
+		opt.CacheSlots = 0
+	}
 	if merge == nil {
 		merge = func(_ V, in V, _ bool) V { return in }
 	}
 	p := team.Config().Ranks
-	t := &Table[K, V]{team: team, opt: opt, merge: merge}
+	t := &Table[K, V]{team: team, opt: opt, merge: merge,
+		stripeMask: uint64(opt.Stripes - 1)}
+	perStripe := 0
+	if opt.ExpectedItems > 0 {
+		perStripe = int(opt.ExpectedItems/int64(p*opt.Stripes)) + 1
+	}
 	t.shards = make([]shard[K, V], p)
 	for i := range t.shards {
-		t.shards[i].m = make(map[K]V)
+		t.shards[i].stripes = make([]stripe[K, V], opt.Stripes)
+		for s := range t.shards[i].stripes {
+			t.shards[i].stripes[s].m = make(map[K]V, perStripe)
+		}
 	}
 	t.locals = make([]localState[K, V], p)
 	for i := range t.locals {
 		t.locals[i].bufs = make([][]kv[K, V], p)
 	}
+	t.caches = make([]*readCache[K, V], p)
 	return t
 }
 
-// Owner returns the rank owning key k under the current placement.
-func (t *Table[K, V]) Owner(k K) int {
-	h := t.opt.Hash(k)
+// ownerOf places a key hash under the current placement.
+func (t *Table[K, V]) ownerOf(h uint64) int {
 	if t.opt.Place != nil {
 		return t.opt.Place(h)
 	}
 	return int(h % uint64(t.team.Config().Ranks))
 }
 
+// stripeIdx returns the stripe index of key hash h (identical for every
+// shard: placement picks the shard, the remixed hash picks the stripe).
+func (t *Table[K, V]) stripeIdx(h uint64) int {
+	return int(remix(h) & t.stripeMask)
+}
+
+// stripeFor returns the owning stripe of (dst, h).
+func (t *Table[K, V]) stripeFor(dst int, h uint64) *stripe[K, V] {
+	return &t.shards[dst].stripes[t.stripeIdx(h)]
+}
+
+// Stripes returns the number of lock stripes per shard (after rounding),
+// for sizing per-(owner, stripe) state used by an ApplyFunc.
+func (t *Table[K, V]) Stripes() int { return int(t.stripeMask) + 1 }
+
+// Owner returns the rank owning key k under the current placement.
+func (t *Table[K, V]) Owner(k K) int {
+	return t.ownerOf(t.opt.Hash(k))
+}
+
+// assertMutable panics when a write lands on a frozen table — the
+// phase-discipline assertion: mutation is only legal between Thaw and the
+// next Freeze.
+func (t *Table[K, V]) assertMutable(op string) {
+	if t.frozen.Load() {
+		panic("dht: " + op + " on frozen table (call Thaw before writing)")
+	}
+}
+
+// Frozen reports whether the table is in the immutable read phase.
+func (t *Table[K, V]) Frozen() bool { return t.frozen.Load() }
+
+// Freeze is collective: every rank of a Run phase must call it. It drains
+// the calling rank's store buffers, barriers, and publishes every stripe
+// map as immutable; subsequent Gets are served lock-free and, when
+// Options.CacheSlots is set, through a per-rank software cache for remote
+// keys. Any Put/Mutate/Delete/local rewrite on the frozen table panics.
+func (t *Table[K, V]) Freeze(r *xrt.Rank) {
+	t.Flush(r)
+	r.Barrier()
+	if r.ID == 0 {
+		t.frozen.Store(true)
+	}
+	r.Barrier()
+	if t.opt.CacheSlots > 0 {
+		t.caches[r.ID] = newReadCache[K, V](t.opt.CacheSlots)
+	}
+	r.Barrier()
+}
+
+// Thaw is collective: it discards the per-rank caches (their coherence is
+// only guaranteed while frozen) and restores writability.
+func (t *Table[K, V]) Thaw(r *xrt.Rank) {
+	r.Barrier()
+	t.caches[r.ID] = nil
+	r.Barrier()
+	if r.ID == 0 {
+		t.frozen.Store(false)
+	}
+	r.Barrier()
+}
+
+// FreezeSerial freezes the table from orchestration code between Run
+// phases (a single goroutine): buffers of all ranks must already be
+// drained (it panics otherwise, since flushing would need rank handles).
+func (t *Table[K, V]) FreezeSerial() {
+	for i := range t.locals {
+		for _, buf := range t.locals[i].bufs {
+			if len(buf) > 0 {
+				panic("dht: FreezeSerial with undrained store buffers")
+			}
+		}
+	}
+	if t.opt.CacheSlots > 0 {
+		for i := range t.caches {
+			t.caches[i] = newReadCache[K, V](t.opt.CacheSlots)
+		}
+	}
+	t.frozen.Store(true)
+}
+
+// ThawSerial restores writability from orchestration code between phases.
+func (t *Table[K, V]) ThawSerial() {
+	for i := range t.caches {
+		t.caches[i] = nil
+	}
+	t.frozen.Store(false)
+}
+
 // Put enqueues a store of (k, v); it is applied at the owner when the
-// destination buffer fills or Flush is called. Visibility is guaranteed
-// only after Flush + barrier, matching the one-sided aggregating-stores
-// semantics of the paper.
+// destination buffer fills or Flush is called. Stores owned by the
+// calling rank bypass the buffer and apply immediately under the stripe
+// lock (visibility of local stores is therefore immediate; remote stores
+// are guaranteed visible only after Flush + barrier, matching the
+// one-sided aggregating-stores semantics of the paper).
 func (t *Table[K, V]) Put(r *xrt.Rank, k K, v V) {
-	dst := t.Owner(k)
+	t.assertMutable("Put")
+	h := t.opt.Hash(k)
+	dst := t.ownerOf(h)
+	if dst == r.ID {
+		// rank-local fast path: no buffering, no message — the paper's
+		// local store, charged as such
+		r.ChargeStoreBatch(dst, 1, t.opt.ItemBytes)
+		si := t.stripeIdx(h)
+		st := &t.shards[dst].stripes[si]
+		st.mu.Lock()
+		t.applyOne(dst, si, k, v, st.m)
+		st.mu.Unlock()
+		return
+	}
 	ls := &t.locals[r.ID]
-	ls.bufs[dst] = append(ls.bufs[dst], kv[K, V]{k, v})
+	ls.bufs[dst] = append(ls.bufs[dst], kv[K, V]{k, v, h})
 	if len(ls.bufs[dst]) >= t.opt.AggBufSize {
 		t.flushTo(r, dst)
 	}
+}
+
+func (t *Table[K, V]) applyOne(dst, stripe int, k K, v V, m map[K]V) {
+	if t.apply != nil {
+		t.apply(dst, stripe, k, v, m)
+		return
+	}
+	old, exists := m[k]
+	m[k] = t.merge(old, v, exists)
 }
 
 func (t *Table[K, V]) flushTo(r *xrt.Rank, dst int) {
@@ -139,20 +335,15 @@ func (t *Table[K, V]) flushTo(r *xrt.Rank, dst int) {
 	if len(buf) == 0 {
 		return
 	}
+	t.assertMutable("Flush")
 	r.ChargeStoreBatch(dst, len(buf), len(buf)*t.opt.ItemBytes)
-	sh := &t.shards[dst]
-	sh.mu.Lock()
-	if t.apply != nil {
-		for _, e := range buf {
-			t.apply(dst, e.k, e.v, sh.m)
-		}
-	} else {
-		for _, e := range buf {
-			old, exists := sh.m[e.k]
-			sh.m[e.k] = t.merge(old, e.v, exists)
-		}
+	for _, e := range buf {
+		si := t.stripeIdx(e.h)
+		st := &t.shards[dst].stripes[si]
+		st.mu.Lock()
+		t.applyOne(dst, si, e.k, e.v, st.m)
+		st.mu.Unlock()
 	}
-	sh.mu.Unlock()
 	ls.bufs[dst] = buf[:0]
 }
 
@@ -165,14 +356,36 @@ func (t *Table[K, V]) Flush(r *xrt.Rank) {
 }
 
 // Get performs an irregular lookup: one message to the owner (unless
-// local), classified and charged by the xrt layer.
+// local), classified and charged by the xrt layer. On a frozen table the
+// read is lock-free; remote reads additionally consult the rank's
+// software cache, whose hits cost local time only and are counted in the
+// cache statistics instead of the lookup statistics (a hit never leaves
+// the rank).
 func (t *Table[K, V]) Get(r *xrt.Rank, k K) (V, bool) {
-	dst := t.Owner(k)
+	h := t.opt.Hash(k)
+	dst := t.ownerOf(h)
+	if t.frozen.Load() {
+		c := t.caches[r.ID]
+		if c != nil && dst != r.ID {
+			if v, ok, hit := c.get(h, k); hit {
+				r.ChargeCacheHit()
+				return v, ok
+			}
+			r.ChargeLookup(dst, t.opt.ItemBytes)
+			v, ok := t.stripeFor(dst, h).m[k]
+			r.CountCacheMiss()
+			c.put(h, k, v, ok)
+			return v, ok
+		}
+		r.ChargeLookup(dst, t.opt.ItemBytes)
+		v, ok := t.stripeFor(dst, h).m[k]
+		return v, ok
+	}
 	r.ChargeLookup(dst, t.opt.ItemBytes)
-	sh := &t.shards[dst]
-	sh.mu.Lock()
-	v, ok := sh.m[k]
-	sh.mu.Unlock()
+	st := t.stripeFor(dst, h)
+	st.mu.Lock()
+	v, ok := st.m[k]
+	st.mu.Unlock()
 	return v, ok
 }
 
@@ -182,25 +395,29 @@ func (t *Table[K, V]) Get(r *xrt.Rank, k K) (V, bool) {
 // returns the new value and whether to store it. Results can be captured
 // through the closure.
 func (t *Table[K, V]) Mutate(r *xrt.Rank, k K, fn func(v V, exists bool) (V, bool)) {
-	dst := t.Owner(k)
+	t.assertMutable("Mutate")
+	h := t.opt.Hash(k)
+	dst := t.ownerOf(h)
 	r.ChargeLookup(dst, t.opt.ItemBytes)
-	sh := &t.shards[dst]
-	sh.mu.Lock()
-	old, exists := sh.m[k]
+	st := t.stripeFor(dst, h)
+	st.mu.Lock()
+	old, exists := st.m[k]
 	if nv, store := fn(old, exists); store {
-		sh.m[k] = nv
+		st.m[k] = nv
 	}
-	sh.mu.Unlock()
+	st.mu.Unlock()
 }
 
 // Delete removes k at its owner (charged as a lookup-class operation).
 func (t *Table[K, V]) Delete(r *xrt.Rank, k K) {
-	dst := t.Owner(k)
+	t.assertMutable("Delete")
+	h := t.opt.Hash(k)
+	dst := t.ownerOf(h)
 	r.ChargeLookup(dst, t.opt.ItemBytes)
-	sh := &t.shards[dst]
-	sh.mu.Lock()
-	delete(sh.m, k)
-	sh.mu.Unlock()
+	st := t.stripeFor(dst, h)
+	st.mu.Lock()
+	delete(st.m, k)
+	st.mu.Unlock()
 }
 
 // LocalRange iterates the calling rank's shard. fn returning false stops
@@ -208,50 +425,79 @@ func (t *Table[K, V]) Delete(r *xrt.Rank, k K) {
 // iteration is not allowed. Iteration itself is free of communication
 // (the paper's "each processor iterates over its local buckets").
 func (t *Table[K, V]) LocalRange(r *xrt.Rank, fn func(k K, v V) bool) {
-	sh := &t.shards[r.ID]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for k, v := range sh.m {
-		r.Charge(t.team.Cost().LocalOpNs)
-		if !fn(k, v) {
-			return
+	frozen := t.frozen.Load()
+	for i := range t.shards[r.ID].stripes {
+		st := &t.shards[r.ID].stripes[i]
+		if !frozen {
+			st.mu.Lock()
+		}
+		for k, v := range st.m {
+			r.Charge(t.team.Cost().LocalOpNs)
+			if !fn(k, v) {
+				if !frozen {
+					st.mu.Unlock()
+				}
+				return
+			}
+		}
+		if !frozen {
+			st.mu.Unlock()
 		}
 	}
 }
 
 // LocalUpdate rewrites every value of the calling rank's shard in place.
 func (t *Table[K, V]) LocalUpdate(r *xrt.Rank, fn func(k K, v V) V) {
-	sh := &t.shards[r.ID]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for k, v := range sh.m {
-		r.Charge(t.team.Cost().LocalOpNs)
-		sh.m[k] = fn(k, v)
+	t.assertMutable("LocalUpdate")
+	for i := range t.shards[r.ID].stripes {
+		st := &t.shards[r.ID].stripes[i]
+		st.mu.Lock()
+		for k, v := range st.m {
+			r.Charge(t.team.Cost().LocalOpNs)
+			st.m[k] = fn(k, v)
+		}
+		st.mu.Unlock()
 	}
 }
 
 // LocalFilter rewrites or deletes every entry of the calling rank's shard:
 // fn returns the new value and whether to keep the entry.
 func (t *Table[K, V]) LocalFilter(r *xrt.Rank, fn func(k K, v V) (V, bool)) {
-	sh := &t.shards[r.ID]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for k, v := range sh.m {
-		r.Charge(t.team.Cost().LocalOpNs)
-		if nv, keep := fn(k, v); keep {
-			sh.m[k] = nv
-		} else {
-			delete(sh.m, k)
+	t.assertMutable("LocalFilter")
+	for i := range t.shards[r.ID].stripes {
+		st := &t.shards[r.ID].stripes[i]
+		st.mu.Lock()
+		for k, v := range st.m {
+			r.Charge(t.team.Cost().LocalOpNs)
+			if nv, keep := fn(k, v); keep {
+				st.m[k] = nv
+			} else {
+				delete(st.m, k)
+			}
 		}
+		st.mu.Unlock()
 	}
 }
 
 // LocalLen returns the number of entries owned by the calling rank.
 func (t *Table[K, V]) LocalLen(r *xrt.Rank) int {
-	sh := &t.shards[r.ID]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return len(sh.m)
+	return t.shardLen(r.ID)
+}
+
+func (t *Table[K, V]) shardLen(id int) int {
+	frozen := t.frozen.Load()
+	n := 0
+	for i := range t.shards[id].stripes {
+		st := &t.shards[id].stripes[i]
+		if frozen {
+			n += len(st.m)
+			continue
+		}
+		st.mu.Lock()
+		n += len(st.m)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // GlobalLen returns the total entry count; collective (all ranks must call).
@@ -259,28 +505,99 @@ func (t *Table[K, V]) GlobalLen(r *xrt.Rank) int64 {
 	return r.AllReduceInt64(int64(t.LocalLen(r)), func(a, b int64) int64 { return a + b })
 }
 
+// Len returns the total entry count from outside any SPMD phase (no
+// communication charged); safe only between phases.
+func (t *Table[K, V]) Len() int64 {
+	var n int64
+	for i := range t.shards {
+		n += int64(t.shardLen(i))
+	}
+	return n
+}
+
 // Lookup reads a key from outside any SPMD phase (validation, output,
 // serial pipeline steps); no communication is charged.
 func (t *Table[K, V]) Lookup(k K) (V, bool) {
-	sh := &t.shards[t.Owner(k)]
-	sh.mu.Lock()
-	v, ok := sh.m[k]
-	sh.mu.Unlock()
+	h := t.opt.Hash(k)
+	st := t.stripeFor(t.ownerOf(h), h)
+	if t.frozen.Load() {
+		v, ok := st.m[k]
+		return v, ok
+	}
+	st.mu.Lock()
+	v, ok := st.m[k]
+	st.mu.Unlock()
 	return v, ok
 }
 
 // RangeAll iterates every shard from a single goroutine. For use outside
 // Run phases (validation, output); no communication is charged.
 func (t *Table[K, V]) RangeAll(fn func(k K, v V) bool) {
+	frozen := t.frozen.Load()
 	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.Lock()
-		for k, v := range sh.m {
-			if !fn(k, v) {
-				sh.mu.Unlock()
-				return
+		for s := range t.shards[i].stripes {
+			st := &t.shards[i].stripes[s]
+			if !frozen {
+				st.mu.Lock()
+			}
+			for k, v := range st.m {
+				if !fn(k, v) {
+					if !frozen {
+						st.mu.Unlock()
+					}
+					return
+				}
+			}
+			if !frozen {
+				st.mu.Unlock()
 			}
 		}
-		sh.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Per-rank software cache (frozen read phase only).
+
+const (
+	slotEmpty uint8 = iota
+	slotPresent
+	slotAbsent // negative entry: the key is known not to exist
+)
+
+type cacheSlot[K comparable, V any] struct {
+	key   K
+	val   V
+	state uint8
+}
+
+// readCache is a direct-mapped, power-of-two-slot software cache owned by
+// one rank's goroutine; no synchronization is needed.
+type readCache[K comparable, V any] struct {
+	mask  uint64
+	slots []cacheSlot[K, V]
+}
+
+func newReadCache[K comparable, V any](slots int) *readCache[K, V] {
+	return &readCache[K, V]{
+		mask:  uint64(slots - 1),
+		slots: make([]cacheSlot[K, V], slots),
+	}
+}
+
+func (c *readCache[K, V]) get(h uint64, k K) (v V, ok bool, hit bool) {
+	s := &c.slots[remix(h)&c.mask]
+	if s.state != slotEmpty && s.key == k {
+		return s.val, s.state == slotPresent, true
+	}
+	return v, false, false
+}
+
+func (c *readCache[K, V]) put(h uint64, k K, v V, ok bool) {
+	s := &c.slots[remix(h)&c.mask]
+	s.key, s.val = k, v
+	if ok {
+		s.state = slotPresent
+	} else {
+		s.state = slotAbsent
 	}
 }

@@ -60,27 +60,33 @@ func TestTables12Shape(t *testing.T) {
 		t.Fatalf("got %d rows", len(rows))
 	}
 	for _, r := range rows {
-		// (virtual traversal time varies with abort patterns at tiny
-		// scale; the communication counters below are the stable signal)
-		if r.SpeedupO1 < 0.7 {
-			t.Fatalf("oracle-1 badly slowed traversal at %d cores: %.2fx", r.Cores, r.SpeedupO1)
-		}
-		// traversal timing is scheduling-sensitive at tiny scale; the
-		// stable oracle-4 vs oracle-1 signal is the off-node lookup share
-		if r.SpeedupO4 < r.SpeedupO1*0.6 {
-			t.Fatalf("oracle-4 (%.2fx) far behind oracle-1 (%.2fx)",
-				r.SpeedupO4, r.SpeedupO1)
-		}
-		if r.OffPctO4 > r.OffPctO1*1.05 {
-			t.Fatalf("oracle-4 off-node %.1f%% above oracle-1 %.1f%%",
-				r.OffPctO4, r.OffPctO1)
-		}
-		if r.OffPctO4 >= r.OffPctNo {
-			t.Fatalf("oracle-4 did not reduce off-node lookups: %.1f%% vs %.1f%%",
-				r.OffPctO4, r.OffPctNo)
-		}
-		if r.ReductionO4 < 30 {
-			t.Fatalf("oracle-4 off-node reduction only %.1f%%", r.ReductionO4)
+		// abort-pattern-dependent quantities (traversal times, lookup
+		// mixes) hold their envelopes only under undistorted scheduling;
+		// the race detector reshapes the claim races, so these shape
+		// assertions are gated (the structural ones below are not)
+		if !raceDetectorEnabled {
+			// (virtual traversal time varies with abort patterns at tiny
+			// scale; the communication counters below are the stable signal)
+			if r.SpeedupO1 < 0.7 {
+				t.Fatalf("oracle-1 badly slowed traversal at %d cores: %.2fx", r.Cores, r.SpeedupO1)
+			}
+			// traversal timing is scheduling-sensitive at tiny scale; the
+			// stable oracle-4 vs oracle-1 signal is the off-node lookup share
+			if r.SpeedupO4 < r.SpeedupO1*0.6 {
+				t.Fatalf("oracle-4 (%.2fx) far behind oracle-1 (%.2fx)",
+					r.SpeedupO4, r.SpeedupO1)
+			}
+			if r.OffPctO4 > r.OffPctO1*1.05 {
+				t.Fatalf("oracle-4 off-node %.1f%% above oracle-1 %.1f%%",
+					r.OffPctO4, r.OffPctO1)
+			}
+			if r.OffPctO4 >= r.OffPctNo {
+				t.Fatalf("oracle-4 did not reduce off-node lookups: %.1f%% vs %.1f%%",
+					r.OffPctO4, r.OffPctNo)
+			}
+			if r.ReductionO4 < 30 {
+				t.Fatalf("oracle-4 off-node reduction only %.1f%%", r.ReductionO4)
+			}
 		}
 		if r.O4MemBytes != 4*r.O1MemBytes {
 			t.Fatalf("oracle-4 memory should be 4x oracle-1: %d vs %d",

@@ -11,8 +11,11 @@ package gapclose
 
 import (
 	"bytes"
+	"sync/atomic"
 
 	"hipmer/internal/aligner"
+	"hipmer/internal/dht"
+	"hipmer/internal/kanalysis"
 	"hipmer/internal/kmer"
 	"hipmer/internal/scaffold"
 	"hipmer/internal/xrt"
@@ -39,6 +42,14 @@ type Options struct {
 	// repeat-flanked gaps otherwise attract the reads of every repeat
 	// copy, making a single closure arbitrarily expensive.
 	MaxGapReads int
+	// K and KmerTable enable closure verification: every closed gap's
+	// junction k-mers (the windows spanning flank↔closure boundaries) are
+	// looked up in the frozen global k-mer table — the same irregular
+	// read pattern as the walks, served through the per-rank software
+	// cache. Verification only reports confidence (Result.Verified); it
+	// never changes closures. Both zero disables it.
+	K         int
+	KmerTable *dht.Table[kmer.Kmer, kanalysis.KmerData]
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +126,10 @@ type gapState struct {
 type Result struct {
 	Gaps, Closed                      int
 	BySpanning, ByWalking, ByPatching int
+	// Verified counts closures whose junction k-mers were confirmed in
+	// the global k-mer table (0 when verification is disabled); Checked
+	// is how many closures were examined.
+	Verified, Checked int
 	// ScaffoldSeqs are the final sequences, closures spliced in.
 	ScaffoldSeqs [][]byte
 	Phase        xrt.PhaseStats
@@ -212,6 +227,7 @@ func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
 		seq    []byte
 	}
 	closures := make([]closure, len(gaps))
+	var verified, checked atomic.Int64
 	res.Phase = team.Run(func(r *xrt.Rank) {
 		for gi := r.ID; gi < len(gaps); gi += p {
 			g := gaps[gi]
@@ -220,9 +236,17 @@ func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
 			// closure methods differ in computational intensity by orders
 			// of magnitude (§4.8); charge the bases actually scanned
 			r.ChargeItems(work + 64)
+			if m != Unclosed && opt.KmerTable != nil && opt.K > 0 {
+				checked.Add(1)
+				if verifyClosure(r, g, seq, opt) {
+					verified.Add(1)
+				}
+			}
 		}
 		r.Barrier()
 	})
+	res.Verified = int(verified.Load())
+	res.Checked = int(checked.Load())
 	for _, c := range closures {
 		switch c.method {
 		case Spanned:
@@ -373,6 +397,44 @@ func closeGap(g *gapState, opt Options) (Method, []byte, int) {
 		}
 	}
 	return Unclosed, nil, work
+}
+
+// verifyClosure checks a closure's junction k-mers — every window that
+// touches closure sequence or straddles a flank boundary — against the
+// frozen global k-mer table. A correct closure is assembled from real
+// read k-mers, so most junction windows should have survived k-mer
+// analysis; a chimeric join produces windows never seen in any read. The
+// closure is deemed verified when at least half the windows are found
+// (single-read spans legitimately contain low-count k-mers the MinCount
+// filter dropped). Lookups are the same irregular-access pattern as the
+// gap walks and run lock-free through the per-rank software cache.
+func verifyClosure(r *xrt.Rank, g *gapState, seq []byte, opt Options) bool {
+	k := opt.K
+	joined := make([]byte, 0, len(g.left)+len(seq)+len(g.right))
+	joined = append(joined, g.left...)
+	joined = append(joined, seq...)
+	joined = append(joined, g.right...)
+	lo := len(g.left) - k + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := len(g.left) + len(seq)
+	if hi > len(joined)-k {
+		hi = len(joined) - k
+	}
+	found, total := 0, 0
+	for pos := lo; pos <= hi; pos++ {
+		km, ok := kmer.Pack(joined[pos:], k)
+		if !ok {
+			continue
+		}
+		canon, _ := km.Canonical(k)
+		total++
+		if _, ok := opt.KmerTable.Get(r, canon); ok {
+			found++
+		}
+	}
+	return total > 0 && 2*found >= total
 }
 
 // trySpanning looks for a single read that contains the end of the left

@@ -3,9 +3,9 @@
 // canonical k-mers; a first pass estimates the distinct-k-mer cardinality
 // (HyperLogLog) and identifies heavy hitters (Misra–Gries) — both sketches
 // are mergeable, so the pass is embarrassingly parallel. A second pass
-// inserts k-mers into per-owner Bloom filters so that only k-mers seen at
-// least twice enter the distributed hash table (the 85% memory saving of
-// the paper). A third pass counts every occurrence and accumulates
+// inserts k-mers into owner-side Bloom filters (one per lock stripe of
+// each owner's shard) so that only k-mers seen at least twice enter the
+// distributed hash table (the 85% memory saving of the paper). A third pass counts every occurrence and accumulates
 // quality-filtered extension evidence. Heavy hitters bypass the
 // owner-computes path: they are accumulated locally and combined in a
 // final global reduction, eliminating the receiver-side load imbalance
@@ -51,6 +51,11 @@ type Options struct {
 	DisableBloom bool
 	// AggBufSize overrides the aggregating-stores buffer size (0 = default).
 	AggBufSize int
+	// CacheSlots sizes the per-rank software cache in front of remote
+	// k-mer lookups once the table is frozen after analysis (contig
+	// traversal terminations, contig depths, gap-closing verification).
+	// 0 uses the default of 4096 slots; negative disables caching.
+	CacheSlots int
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +76,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BloomFP <= 0 {
 		o.BloomFP = 0.05
+	}
+	if o.CacheSlots == 0 {
+		o.CacheSlots = 4096
+	} else if o.CacheSlots < 0 {
+		o.CacheSlots = 0
 	}
 	return o
 }
@@ -103,7 +113,9 @@ func (d KmerData) IsUU() bool {
 // Result carries the outputs of k-mer analysis.
 type Result struct {
 	// Table maps canonical k-mer → KmerData for every k-mer with
-	// count ≥ MinCount, with finalized extension codes.
+	// count ≥ MinCount, with finalized extension codes. It is returned
+	// frozen (read-only, lock-free, software-cached); callers needing to
+	// mutate it must Thaw first.
 	Table *dht.Table[kmer.Kmer, KmerData]
 	// DistinctEstimate is the HyperLogLog cardinality estimate.
 	DistinctEstimate uint64
@@ -238,26 +250,38 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	}
 	res.HeavyHitters = len(hhSet)
 
-	// --- table + per-owner Bloom filters -------------------------------
-	perOwner := res.DistinctEstimate/uint64(p) + 64
-	blooms := make([]*bloom.Filter, p)
-	for i := range blooms {
-		blooms[i] = bloom.New(perOwner*12/10, opt.BloomFP)
-	}
+	// The HyperLogLog estimate pre-sizes the stripe maps: construction
+	// then never rehashes incrementally. The estimate counts every
+	// distinct k-mer including single-occurrence errors the Bloom screen
+	// rejects, so it is a safe upper bound on the final entry count.
 	table := dht.New[kmer.Kmer, KmerData](team, dht.Options[kmer.Kmer]{
-		Hash:       func(km kmer.Kmer) uint64 { return km.Hash(0xc0ffee) },
-		ItemBytes:  16 + 10,
-		AggBufSize: opt.AggBufSize,
+		Hash:          func(km kmer.Kmer) uint64 { return km.Hash(0xc0ffee) },
+		ItemBytes:     16 + 10,
+		AggBufSize:    opt.AggBufSize,
+		ExpectedItems: int64(res.DistinctEstimate),
+		CacheSlots:    opt.CacheSlots,
 	}, nil)
 	res.Table = table
 
+	// --- per-(owner, stripe) Bloom filters -----------------------------
+	// The apply hook runs under a stripe lock, not an owner-wide lock, so
+	// the Bloom state must partition the same way the locks do: one filter
+	// per stripe (a k-mer always maps to the same stripe of its owner).
+	stripes := table.Stripes()
+	perBloom := res.DistinctEstimate/uint64(p*stripes) + 64
+	blooms := make([]*bloom.Filter, p*stripes)
+	for i := range blooms {
+		blooms[i] = bloom.New(perBloom*12/10, opt.BloomFP)
+	}
+
 	// pass 2: Bloom screening — the second sighting of a k-mer promotes it
 	// into the table; single-occurrence (erroneous) k-mers never enter.
-	table.SetApply(func(owner int, k kmer.Kmer, _ KmerData, shard map[kmer.Kmer]KmerData) {
+	table.SetApply(func(owner, stripe int, k kmer.Kmer, _ KmerData, shard map[kmer.Kmer]KmerData) {
 		if _, ok := shard[k]; ok {
 			return
 		}
-		if opt.DisableBloom || blooms[owner].Add(k.Hash(0xb100), k.Hash(0xb101)) {
+		b := blooms[owner*stripes+stripe]
+		if opt.DisableBloom || b.Add(k.Hash(0xb100), k.Hash(0xb101)) {
 			shard[k] = KmerData{}
 		}
 	})
@@ -279,7 +303,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 
 	// pass 3: exact counting with extension evidence. Heavy hitters are
 	// accumulated rank-locally; everything else goes to its owner.
-	table.SetApply(func(owner int, k kmer.Kmer, in KmerData, shard map[kmer.Kmer]KmerData) {
+	table.SetApply(func(_, _ int, k kmer.Kmer, in KmerData, shard map[kmer.Kmer]KmerData) {
 		if d, ok := shard[k]; ok {
 			d.merge(in)
 			shard[k] = d
@@ -350,6 +374,12 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 		if r.ID == 0 {
 			res.Kept = kept
 		}
+
+		// analysis is complete: every downstream consumer (contig build
+		// and traversal terminations, contig depths, gap-closing
+		// verification) only reads, so publish the table frozen —
+		// lock-free lookups behind the per-rank software cache.
+		table.Freeze(r)
 	})
 	table.SetApply(nil)
 	return res

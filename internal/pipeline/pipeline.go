@@ -248,8 +248,11 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 	})
 
 	// --- stage 4: gap closing ------------------------------------------
+	gcOpt := cfg.Gapclose
+	gcOpt.K = cfg.K
+	gcOpt.KmerTable = res.KAnalysis.Table // frozen: cached closure verification
 	_ = track("gap-closing", func() error {
-		res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, cfg.Gapclose)
+		res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, gcOpt)
 		return nil
 	})
 
@@ -267,7 +270,7 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 			return nil
 		})
 		_ = track("gap-closing"+sfx, func() error {
-			res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, cfg.Gapclose)
+			res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, gcOpt)
 			return nil
 		})
 		res.FinalSeqs = res.Gapclose.ScaffoldSeqs

@@ -207,6 +207,10 @@ func generateLinks(team *xrt.Team, libs []ReadLib, merged map[int64]*SContig,
 		}
 		table.Flush(r)
 		r.Barrier()
+
+		// evidence is complete; the assessment pass below only reads, so
+		// publish the table frozen for lock-free bucket iteration
+		table.Freeze(r)
 	})
 
 	// assess local buckets, then gather the (small) link set everywhere

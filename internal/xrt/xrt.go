@@ -141,7 +141,11 @@ func (l Locality) String() string {
 // CommStats counts communication events issued by one rank. Lookup
 // counters record the locality of read operations (the quantity reported
 // in the paper's Table 2); message counters record transfers, and byte
-// counters record traffic volume.
+// counters record traffic volume. Cache counters record software-cache
+// activity in front of remote lookups: a hit is a remote read served
+// rank-locally (it appears here instead of in the lookup counters — the
+// locality win next to Table 2), a miss is a remote read that also filled
+// a cache slot.
 type CommStats struct {
 	LocalLookups   int64
 	OnNodeLookups  int64
@@ -152,6 +156,8 @@ type CommStats struct {
 	OnNodeBytes    int64
 	OffNodeBytes   int64
 	IOBytes        int64
+	CacheHits      int64
+	CacheMisses    int64
 }
 
 // Add accumulates o into s.
@@ -165,6 +171,8 @@ func (s *CommStats) Add(o CommStats) {
 	s.OnNodeBytes += o.OnNodeBytes
 	s.OffNodeBytes += o.OffNodeBytes
 	s.IOBytes += o.IOBytes
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // Sub returns s - o, used for per-phase deltas.
@@ -179,6 +187,8 @@ func (s CommStats) Sub(o CommStats) CommStats {
 		OnNodeBytes:    s.OnNodeBytes - o.OnNodeBytes,
 		OffNodeBytes:   s.OffNodeBytes - o.OffNodeBytes,
 		IOBytes:        s.IOBytes - o.IOBytes,
+		CacheHits:      s.CacheHits - o.CacheHits,
+		CacheMisses:    s.CacheMisses - o.CacheMisses,
 	}
 }
 
@@ -194,6 +204,16 @@ func (s CommStats) OffNodeLookupFrac() float64 {
 		return 0
 	}
 	return float64(s.OffNodeLookups) / float64(t)
+}
+
+// CacheHitRate returns the fraction of software-cached remote reads that
+// hit (0 when no cached table was read).
+func (s CommStats) CacheHitRate() float64 {
+	t := s.CacheHits + s.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(t)
 }
 
 // Rank is the per-goroutine handle inside a Team.Run body. The clock and
@@ -265,6 +285,20 @@ func (r *Rank) ChargeLookup(dst int, bytes int) {
 		r.stats.OffNodeBytes += int64(bytes)
 		r.clockNs += c.OffNodeMsgNs + float64(bytes)*c.OffNodeByteNs
 	}
+}
+
+// ChargeCacheHit records a remote read served from the rank's software
+// cache: local time only, counted as a cache hit instead of a lookup
+// (the operation never leaves the rank).
+func (r *Rank) ChargeCacheHit() {
+	r.stats.CacheHits++
+	r.clockNs += r.team.cost.LocalOpNs
+}
+
+// CountCacheMiss records that a charged remote lookup also filled a
+// software-cache slot; the lookup itself is charged separately.
+func (r *Rank) CountCacheMiss() {
+	r.stats.CacheMisses++
 }
 
 // ChargeStoreBatch records the transfer of a batch of n items totalling
