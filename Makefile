@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench verify
 
 all: build vet test
 
@@ -17,6 +17,20 @@ test:
 # the DHT stress test (concurrent Get/Put/Mutate/Flush across ranks).
 race:
 	$(GO) test -race ./internal/...
+
+# One-stop correctness gate (~30 s): build, vet, the short test suite
+# (exhibit sweeps skip under -short), a targeted race-detector pass over
+# the schedule-perturbation surface (the perturbation layer, DHT flushes,
+# claim/abort traversal, and the perturbation-seed assembly sweep), and a
+# short fuzz smoke over both record parsers. `make test` / `make race`
+# remain the exhaustive versions.
+verify: build vet
+	$(GO) test -short ./...
+	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
+	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
+	$(GO) test -short -race -run 'Perturb' ./internal/verify/
+	$(GO) test -fuzz FuzzParse -fuzztime 3s -run '^$$' ./internal/fastq/
+	$(GO) test -fuzz FuzzParse -fuzztime 3s -run '^$$' ./internal/fasta/
 
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths.

@@ -27,6 +27,7 @@ func main() {
 	fig8 := flag.Bool("fig8", false, "Figure 8: end-to-end strong scaling (human+wheat)")
 	compare := flag.Bool("compare", false, "§5.6: competing assemblers")
 	ablations := flag.Bool("ablations", false, "design-choice ablations: Bloom memory, aggregating stores, oracle sizing")
+	verifyF := flag.Bool("verify", false, "metamorphic verification: rank-count invariance, schedule perturbation, assembly oracle")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
 	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
@@ -56,7 +57,7 @@ func main() {
 		sc.Seed = *seed
 	}
 
-	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations) {
+	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -104,6 +105,16 @@ func main() {
 	if *all || *compare {
 		_, text := expt.Compare(sc)
 		fmt.Println(text)
+	}
+	if *all || *verifyF {
+		rows, text := expt.VerifySweep(sc)
+		fmt.Println(text)
+		for _, r := range rows {
+			if !(r.RanksInvariant && r.BitIdentical && r.OracleOK) {
+				fmt.Fprintf(os.Stderr, "benchsuite: verification failed on %s\n", r.Dataset)
+				os.Exit(1)
+			}
+		}
 	}
 	if *all || *ablations {
 		_, text := expt.AblationBloom(sc)

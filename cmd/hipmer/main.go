@@ -48,6 +48,8 @@ func main() {
 	contigsOnly := flag.Bool("contigs-only", false, "stop after contig generation (metagenome mode)")
 	noHH := flag.Bool("no-heavy-hitters", false, "disable the heavy-hitter optimization")
 	refPath := flag.String("ref", "", "optional reference FASTA for validation")
+	doVerify := flag.Bool("verify", false, "run the assembly oracle (with -ref: also misassembly and gap checks); exit nonzero on failure")
+	perturbSeed := flag.Int64("perturb-seed", 0, "schedule-perturbation seed (0 = off); output must not depend on it")
 	flag.Parse()
 
 	if len(libs) == 0 {
@@ -56,7 +58,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := hipmer.Assemble(libs, hipmer.Options{
+	var ref []byte
+	if *refPath != "" {
+		refs, err := fasta.ReadFile(*refPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hipmer: reading reference: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range refs {
+			ref = append(ref, r.Seq...)
+		}
+	}
+
+	opts := hipmer.Options{
 		K:                   *k,
 		MinCount:            *minCount,
 		Ranks:               *ranks,
@@ -64,7 +78,13 @@ func main() {
 		Seed:                *seed,
 		ContigsOnly:         *contigsOnly,
 		DisableHeavyHitters: *noHH,
-	})
+		Verify:              *doVerify,
+		PerturbSeed:         *perturbSeed,
+	}
+	if *doVerify {
+		opts.VerifyRef = ref
+	}
+	res, err := hipmer.Assemble(libs, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
 		os.Exit(1)
@@ -91,20 +111,21 @@ func main() {
 		fmt.Printf("  %-18s %12v\n", t.Name, t.Virtual)
 	}
 
-	if *refPath != "" {
-		refs, err := fasta.ReadFile(*refPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hipmer: reading reference: %v\n", err)
-			os.Exit(1)
-		}
-		var ref []byte
-		for _, r := range refs {
-			ref = append(ref, r.Seq...)
-		}
+	if len(ref) > 0 {
 		v := res.Validate(ref)
 		fmt.Printf("validation: %d placed, %d unplaced, %d misassemblies, "+
 			"coverage %.2f%%, identity %.4f%%\n",
 			v.Placed, v.Unplaced, v.Misassemblies,
 			100*v.CoveredFrac, 100*v.IdentityFrac)
+	}
+
+	if res.Verify != nil {
+		fmt.Println(res.Verify.Summary)
+		for _, is := range res.Verify.Issues {
+			fmt.Printf("  %s\n", is)
+		}
+		if !res.Verify.OK {
+			os.Exit(1)
+		}
 	}
 }

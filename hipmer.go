@@ -32,6 +32,7 @@ import (
 	"hipmer/internal/pipeline"
 	"hipmer/internal/seqdb"
 	"hipmer/internal/stats"
+	"hipmer/internal/verify"
 	"hipmer/internal/xrt"
 )
 
@@ -85,6 +86,18 @@ type Options struct {
 	// back in as contigs; the paper's wheat runs used four rounds (§5.3).
 	// Default 1.
 	ScaffoldRounds int
+	// Verify runs the assembly oracle on the output (every contig k-mer
+	// must occur in the read set; with VerifyRef also reference placement
+	// and gap-size checks) and attaches the report to Result.Verify.
+	Verify bool
+	// VerifyRef is the reference the reads were simulated from, enabling
+	// the oracle's misassembly and gap checks.
+	VerifyRef []byte
+	// PerturbSeed, when non-zero, enables deterministic schedule
+	// perturbation (delayed rank starts, barrier arrivals, and buffer
+	// flushes). The assembly must be bit-identical for every seed; tests
+	// sweep seeds to prove output is schedule-independent.
+	PerturbSeed int64
 }
 
 // StageTime reports one pipeline stage's simulated (virtual) duration —
@@ -133,6 +146,24 @@ type Result struct {
 	Bubbles      int
 	GapsClosed   int
 	Gaps         int
+	// Verify is the oracle report (nil unless Options.Verify was set).
+	Verify *VerifyReport
+}
+
+// VerifyReport is the assembly oracle's verdict (Options.Verify).
+type VerifyReport struct {
+	// OK is true when every check passed.
+	OK bool
+	// Summary is a one-line account of what was checked.
+	Summary string
+	// Issues lists the individual failures (capped).
+	Issues []string
+	// Misassemblies and GapViolations expose the reference-based counts
+	// (zero when no VerifyRef was given).
+	Misassemblies int
+	GapViolations int
+	// MissingKmers counts contig k-mers absent from the read set.
+	MissingKmers int64
 }
 
 // Assemble runs the full pipeline.
@@ -164,6 +195,9 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		ContigsOnly:         opt.ContigsOnly,
 		ScaffoldRounds:      opt.ScaffoldRounds,
 	}
+	if opt.Verify {
+		cfg.Verify = &verify.Options{Ref: opt.VerifyRef}
+	}
 	if len(opt.OracleContigs) > 0 {
 		var cs []*contig.Contig
 		n := 0
@@ -181,6 +215,7 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		Ranks:        opt.Ranks,
 		RanksPerNode: opt.RanksPerNode,
 		Seed:         opt.Seed,
+		Perturb:      xrt.PerturbPlan{Seed: opt.PerturbSeed},
 	})
 	pres, err := pipeline.Run(team, plibs, cfg)
 	if err != nil {
@@ -212,6 +247,19 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 	if pres.Gapclose != nil {
 		res.GapsClosed = pres.Gapclose.Closed
 		res.Gaps = pres.Gapclose.Gaps
+	}
+	if pres.Verify != nil {
+		vr := &VerifyReport{
+			OK:            pres.Verify.OK(),
+			Summary:       pres.Verify.String(),
+			Misassemblies: pres.Verify.Misassemblies,
+			GapViolations: pres.Verify.GapViolations,
+			MissingKmers:  pres.Verify.MissingKmers,
+		}
+		for _, is := range pres.Verify.Issues {
+			vr.Issues = append(vr.Issues, is.String())
+		}
+		res.Verify = vr
 	}
 	return res, nil
 }

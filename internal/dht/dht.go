@@ -336,6 +336,9 @@ func (t *Table[K, V]) flushTo(r *xrt.Rank, dst int) {
 		return
 	}
 	t.assertMutable("Flush")
+	// schedule-perturbation point: delaying a flush widens the window in
+	// which other ranks' lookups race the buffered stores
+	r.PerturbPoint(xrt.PerturbFlush)
 	r.ChargeStoreBatch(dst, len(buf), len(buf)*t.opt.ItemBytes)
 	for _, e := range buf {
 		si := t.stripeIdx(e.h)

@@ -27,6 +27,7 @@ func tinyScale() Scale {
 }
 
 func TestFig6ShapeHeavyHittersWin(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, text := Fig6(sc)
 	if len(rows) != len(sc.Cores) {
@@ -54,6 +55,7 @@ func TestFig6ShapeHeavyHittersWin(t *testing.T) {
 }
 
 func TestTables12Shape(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, t1, t2 := Tables12(sc)
 	if len(rows) != 2 {
@@ -99,6 +101,7 @@ func TestTables12Shape(t *testing.T) {
 }
 
 func TestSweepScalesAndBreaksDown(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, err := RunSweep(sc, "human")
 	if err != nil {
@@ -130,6 +133,7 @@ func TestSweepScalesAndBreaksDown(t *testing.T) {
 }
 
 func TestTable3MetagenomeScales(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, text := Table3(sc)
 	if len(rows) != 2 {
@@ -150,6 +154,7 @@ func TestTable3MetagenomeScales(t *testing.T) {
 }
 
 func TestCompareShape(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, text := Compare(sc)
 	if len(rows) != 4 {
@@ -169,6 +174,7 @@ func TestCompareShape(t *testing.T) {
 }
 
 func TestAblationBloomReproducesMemorySaving(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, text := AblationBloom(sc)
 	if len(rows) != 2 {
@@ -194,6 +200,7 @@ func TestAblationBloomReproducesMemorySaving(t *testing.T) {
 }
 
 func TestAblationAggStoresMonotone(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, _ := AblationAggStores(sc)
 	if len(rows) < 3 {
@@ -221,6 +228,7 @@ func maxI64(a, b int64) int64 {
 }
 
 func TestAblationOracleMemoryTradeoff(t *testing.T) {
+	skipIfShort(t)
 	sc := tinyScale()
 	rows, _ := AblationOracleMemory(sc)
 	if rows[0].SlotsPerKmer != 0 {

@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// skipIfShort gates the exhibit sweeps out of `go test -short` (the quick
+// `make verify` gate): each regenerates a full table or figure. The plain
+// `make test` / tier-1 run still executes all of them.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exhibit sweep; run without -short")
+	}
+}
+
+func TestVerifySweepAllGreen(t *testing.T) {
+	skipIfShort(t)
+	sc := tinyScale()
+	// assemble at the production k: the 21-mer tiny scale trades accuracy
+	// for speed, and the oracle (correctly) flags the occasional misjoin a
+	// 21-mer assembly of the repeat-bearing human genome produces
+	sc.K = 31
+	rows, text := VerifySweep(sc)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.RanksInvariant {
+			t.Errorf("%s: contig set not invariant across ranks %v", r.Dataset, r.RankSweep)
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s: assembly not bit-identical across %d perturbation seeds",
+				r.Dataset, r.PerturbSeeds)
+		}
+		if !r.OracleOK {
+			t.Errorf("%s: oracle failed: %s", r.Dataset, r.OracleSummary)
+		}
+	}
+	if !strings.Contains(text, "human") || !strings.Contains(text, "wheat") {
+		t.Fatalf("report missing datasets:\n%s", text)
+	}
+	if strings.Contains(text, "FAILED") {
+		t.Fatalf("report shows failures:\n%s", text)
+	}
+}

@@ -1,0 +1,124 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Exhaustive sweeps over every supported k. The sibling tests in
+// kmer_test.go sample k at random; these pin the properties at each k in
+// 1..MaxK, including the word-boundary lengths 31, 32, 33 and 63, 64 where
+// the two-word representation changes shape.
+
+// seqsForK yields a deterministic mix of adversarial and random sequences
+// of length k: homopolymers (A is the all-zero encoding, T the all-ones),
+// an alternating pattern, a palindromic-leaning CG run, and random draws.
+func seqsForK(rng *rand.Rand, k int) [][]byte {
+	fixed := []byte{'A', 'T', 'C', 'G'}
+	var out [][]byte
+	for _, b := range fixed {
+		s := make([]byte, k)
+		for i := range s {
+			s[i] = b
+		}
+		out = append(out, s)
+	}
+	alt := make([]byte, k)
+	for i := range alt {
+		alt[i] = "AT"[i&1]
+	}
+	out = append(out, alt)
+	cg := make([]byte, k)
+	for i := range cg {
+		cg[i] = "CG"[i&1]
+	}
+	out = append(out, cg)
+	for trial := 0; trial < 8; trial++ {
+		out = append(out, randSeq(rng, k))
+	}
+	return out
+}
+
+// TestPackRoundTripAllK asserts Pack followed by String is the identity for
+// every supported k, and that packing preserves the zero-padding invariant.
+func TestPackRoundTripAllK(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 1; k <= MaxK; k++ {
+		for _, s := range seqsForK(rng, k) {
+			km, ok := Pack(s, k)
+			if !ok {
+				t.Fatalf("k=%d: pack failed for %q", k, s)
+			}
+			if got := km.String(k); got != string(s) {
+				t.Fatalf("k=%d: round trip %q -> %q", k, s, got)
+			}
+			if km.mask(k) != km {
+				t.Fatalf("k=%d: padding bits set after Pack(%q): %x", k, s, km.W)
+			}
+		}
+	}
+}
+
+// TestRevCompInvolutionAllK asserts RevComp is its own inverse and agrees
+// with the byte-wise reference implementation at every supported k.
+func TestRevCompInvolutionAllK(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for k := 1; k <= MaxK; k++ {
+		for _, s := range seqsForK(rng, k) {
+			km, _ := Pack(s, k)
+			rc := km.RevComp(k)
+			if want := revCompNaive(string(s)); rc.String(k) != want {
+				t.Fatalf("k=%d: revcomp(%q) = %q, want %q", k, s, rc.String(k), want)
+			}
+			if rc.mask(k) != rc {
+				t.Fatalf("k=%d: revcomp broke the padding invariant on %q", k, s)
+			}
+			if back := rc.RevComp(k); back != km {
+				t.Fatalf("k=%d: revcomp not an involution on %q", k, s)
+			}
+		}
+	}
+}
+
+// TestCanonicalStrandInvarianceAllK asserts that at every supported k a
+// k-mer and its reverse complement canonicalize to the same representative,
+// the representative is the lexicographic minimum of the two strands, and
+// the flipped flag is consistent with which strand was chosen.
+func TestCanonicalStrandInvarianceAllK(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for k := 1; k <= MaxK; k++ {
+		for _, s := range seqsForK(rng, k) {
+			km, _ := Pack(s, k)
+			rc := km.RevComp(k)
+			c1, f1 := km.Canonical(k)
+			c2, f2 := rc.Canonical(k)
+			if c1 != c2 {
+				t.Fatalf("k=%d: canonical(%q) != canonical(rc): %q vs %q",
+					k, s, c1.String(k), c2.String(k))
+			}
+			min := string(s)
+			if r := revCompNaive(string(s)); r < min {
+				min = r
+			}
+			if c1.String(k) != min {
+				t.Fatalf("k=%d: canonical(%q) = %q, want lexicographic min %q",
+					k, s, c1.String(k), min)
+			}
+			if f1 && c1 != rc {
+				t.Fatalf("k=%d: flipped=true but canonical is not the reverse complement", k)
+			}
+			if !f1 && c1 != km {
+				t.Fatalf("k=%d: flipped=false but canonical is not the forward strand", k)
+			}
+			// a palindrome (km == rc) reports flipped=false from both strands;
+			// otherwise exactly one strand reports flipped
+			if km == rc {
+				if f1 || f2 {
+					t.Fatalf("k=%d: palindrome %q reported flipped", k, s)
+				}
+			} else if f1 == f2 {
+				t.Fatalf("k=%d: both strands of %q report flipped=%v", k, s, f1)
+			}
+		}
+	}
+}

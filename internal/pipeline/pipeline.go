@@ -17,6 +17,7 @@ import (
 	"hipmer/internal/kanalysis"
 	"hipmer/internal/scaffold"
 	"hipmer/internal/seqdb"
+	"hipmer/internal/verify"
 	"hipmer/internal/xrt"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 	Scaffold scaffold.Options
 	// Gapclose options pass-through.
 	Gapclose gapclose.Options
+	// Verify, when non-nil, runs the assembly oracle on the output
+	// (k-mer spectrum containment; with Verify.Ref set, also reference
+	// placement and gap-size checks) and attaches the report to
+	// Result.Verify. The oracle runs outside the simulated machine and
+	// charges no virtual time.
+	Verify *verify.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +104,8 @@ type Result struct {
 	// scaffolding (with merAligner and gap-closing reported separately),
 	// and total.
 	Timings []StageTiming
+	// Verify is the oracle report (nil unless Config.Verify was set).
+	Verify *verify.Report
 }
 
 // Timing returns the named stage timing (zero value if absent).
@@ -232,6 +241,7 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 			res.FinalSeqs = append(res.FinalSeqs, c.Seq)
 		}
 		res.addTotal()
+		res.runVerify(cfg, merged)
 		return res, nil
 	}
 
@@ -276,7 +286,32 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 		res.FinalSeqs = res.Gapclose.ScaffoldSeqs
 	}
 	res.addTotal()
+	res.runVerify(cfg, merged)
 	return res, nil
+}
+
+// runVerify runs the assembly oracle when configured. It sees only raw
+// sequences: the contig set, the final scaffolds, and the reads.
+func (r *Result) runVerify(cfg Config, merged [][]fastq.Record) {
+	if cfg.Verify == nil {
+		return
+	}
+	opt := *cfg.Verify
+	if opt.K <= 0 {
+		opt.K = cfg.K
+	}
+	in := verify.Input{Finals: r.FinalSeqs}
+	for _, part := range merged {
+		for _, rec := range part {
+			in.Reads = append(in.Reads, rec.Seq)
+		}
+	}
+	if r.Contigs != nil {
+		for _, c := range r.Contigs.All() {
+			in.Contigs = append(in.Contigs, c.Seq)
+		}
+	}
+	r.Verify = verify.Check(in, opt)
 }
 
 // contigResultFromSeqs re-enters scaffolding with a previous round's

@@ -50,9 +50,16 @@ func orderAndOrient(team *xrt.Team, merged map[int64]*SContig, links []Link,
 			return ts[i].entry < ts[j].entry
 		})
 	}
+	// eligible guards the traversal against links that reference contigs
+	// excluded from scaffolding (bubble losers, sub-minimum lengths) or
+	// unknown IDs: following one would duplicate popped-out sequence.
+	eligible := func(id int64) bool {
+		sc := merged[id]
+		return sc != nil && !sc.PoppedOut && len(sc.Seq) >= opt.MinContigLen
+	}
 	best := func(k endKey, used map[int64]bool) (tieRef, bool) {
 		for _, t := range ties[k] {
-			if used[t.to] {
+			if used[t.to] || !eligible(t.to) {
 				continue
 			}
 			// mutual-best requirement: the partner end's best available tie

@@ -1,0 +1,120 @@
+// Schedule perturbation: a seeded layer that injects deterministic
+// *physical* delays at the synchronization points of an SPMD run — rank
+// start, barrier arrival, and per-rank buffer flushes — without touching
+// virtual time, communication statistics, or the ranks' algorithmic RNG
+// streams. Sweeping PerturbPlan seeds explores adversarial goroutine
+// interleavings of the speculative protocols built on top of xrt (the
+// contig claim/abort traversal, the DHT freeze/thaw phase discipline)
+// while every run remains reproducible: for a fixed plan each rank draws
+// its delay sequence from a private generator in rank-local program
+// order, so the delays themselves do not depend on scheduling.
+//
+// The intended use is metamorphic testing (see internal/verify): the
+// assembly must be bit-identical under every perturbation seed, turning
+// "no schedule-dependent results" into a property the race detector and
+// CI exercise on every run. To reproduce a failure, re-run with the same
+// Config (Ranks, Seed, Perturb) — the delay schedule is part of the
+// configuration, not of the runtime's mood.
+package xrt
+
+import (
+	"runtime"
+	"time"
+)
+
+// PerturbPoint classifies where in the runtime a perturbation is applied.
+type PerturbPoint int
+
+const (
+	// PerturbStart is drawn once per rank at the top of each Run phase,
+	// jittering rank start times.
+	PerturbStart PerturbPoint = iota
+	// PerturbBarrier is drawn immediately before a rank arrives at a
+	// barrier, reordering barrier arrival.
+	PerturbBarrier
+	// PerturbFlush is drawn before a rank drains one aggregation buffer
+	// (the dht layer calls this), delaying per-rank flushes.
+	PerturbFlush
+)
+
+// PerturbPlan configures deterministic schedule perturbation for a Team.
+// The zero value disables perturbation. A non-zero Seed enables it with
+// default jitter magnitudes; the *Ns fields cap the uniformly drawn delay
+// per point class (0 = default).
+type PerturbPlan struct {
+	// Seed selects the delay schedule. 0 disables perturbation entirely.
+	Seed int64
+	// StartJitterNs caps the delay injected at each rank's entry into a
+	// Run phase (default 200µs).
+	StartJitterNs int64
+	// BarrierJitterNs caps the delay injected before each barrier arrival
+	// (default 50µs).
+	BarrierJitterNs int64
+	// FlushJitterNs caps the delay injected before each buffer flush
+	// (default 20µs).
+	FlushJitterNs int64
+}
+
+// Enabled reports whether the plan perturbs schedules at all.
+func (p PerturbPlan) Enabled() bool { return p.Seed != 0 }
+
+func (p PerturbPlan) withDefaults() PerturbPlan {
+	if !p.Enabled() {
+		return p
+	}
+	if p.StartJitterNs <= 0 {
+		p.StartJitterNs = 200_000
+	}
+	if p.BarrierJitterNs <= 0 {
+		p.BarrierJitterNs = 50_000
+	}
+	if p.FlushJitterNs <= 0 {
+		p.FlushJitterNs = 20_000
+	}
+	return p
+}
+
+// perturbSeed derives the per-rank delay-stream seed. It is decoupled
+// from the rank's algorithmic RNG seeding (Config.Seed) so that enabling
+// perturbation cannot change any randomized algorithmic decision.
+func perturbSeed(planSeed int64, rank int) int64 {
+	return int64(Splitmix64(uint64(planSeed)^0x7e57ab1e) + uint64(rank)*0x9e3779b97f4a7c15)
+}
+
+// PerturbPoint injects the plan's delay for point class pt. It is a no-op
+// when the team has no perturbation plan. Only physical time passes: the
+// virtual clock, the communication statistics, and r.Rng() are untouched.
+func (r *Rank) PerturbPoint(pt PerturbPoint) {
+	if r.pert == nil {
+		return
+	}
+	plan := &r.team.cfg.Perturb
+	var max int64
+	switch pt {
+	case PerturbStart:
+		max = plan.StartJitterNs
+	case PerturbBarrier:
+		max = plan.BarrierJitterNs
+	default:
+		max = plan.FlushJitterNs
+	}
+	if max <= 0 {
+		return
+	}
+	d := int64(r.pert.Uint64() % uint64(max))
+	spinDelay(d)
+}
+
+// spinDelay blocks for roughly ns of wall time. Short delays yield the
+// processor instead of sleeping: the goal is to hand the scheduler
+// different interleavings, not to burn precise wall time.
+func spinDelay(ns int64) {
+	switch {
+	case ns < 2_000:
+		for i := int64(0); i <= ns/500; i++ {
+			runtime.Gosched()
+		}
+	default:
+		time.Sleep(time.Duration(ns))
+	}
+}

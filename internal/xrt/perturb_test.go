@@ -1,0 +1,126 @@
+package xrt
+
+import "testing"
+
+// perturbWorkload is a small phase exercising the charged operations,
+// collectives, and the rank RNG; it returns everything observable that
+// must be invariant under schedule perturbation.
+func perturbWorkload(cfg Config) (virtual float64, agg CommStats, draws []uint64, reduced int64) {
+	team := NewTeam(cfg)
+	draws = make([]uint64, cfg.Ranks)
+	reds := make([]int64, cfg.Ranks) // per-rank slot: ranks must not share a variable
+	for phase := 0; phase < 3; phase++ {
+		team.Run(func(r *Rank) {
+			for i := 0; i < 50; i++ {
+				r.ChargeLookup((r.ID+i)%r.N(), 16)
+			}
+			r.ChargeItems(100)
+			r.Barrier()
+			r.ChargeStoreBatch((r.ID+1)%r.N(), 8, 128)
+			draws[r.ID] += r.Rng().Uint64()
+			reds[r.ID] = r.AllReduceInt64(int64(r.ID), func(a, b int64) int64 { return a + b })
+		})
+	}
+	return float64(team.VirtualNow()), team.AggStats(), draws, reds[0]
+}
+
+// TestPerturbInvariants is the core guarantee: enabling a perturbation
+// plan changes only physical scheduling. Virtual time, communication
+// statistics, RNG streams, and collective results are bit-identical to
+// the unperturbed run, for every plan seed.
+func TestPerturbInvariants(t *testing.T) {
+	base := Config{Ranks: 8, RanksPerNode: 4, Seed: 11}
+	v0, agg0, draws0, red0 := perturbWorkload(base)
+	for _, seed := range []int64{1, 2, 7, 0xdeadbeef} {
+		cfg := base
+		// tiny jitter caps keep the test fast while still reordering
+		cfg.Perturb = PerturbPlan{Seed: seed, StartJitterNs: 5_000, BarrierJitterNs: 2_000, FlushJitterNs: 1_000}
+		v, agg, draws, red := perturbWorkload(cfg)
+		if v != v0 {
+			t.Errorf("perturb seed %d: virtual time %v != unperturbed %v", seed, v, v0)
+		}
+		if agg != agg0 {
+			t.Errorf("perturb seed %d: comm stats %+v != unperturbed %+v", seed, agg, agg0)
+		}
+		for i := range draws {
+			if draws[i] != draws0[i] {
+				t.Errorf("perturb seed %d: rank %d RNG stream diverged", seed, i)
+			}
+		}
+		if red != red0 {
+			t.Errorf("perturb seed %d: reduction %d != %d", seed, red, red0)
+		}
+	}
+}
+
+// TestPerturbNoopWithoutPlan checks the zero plan costs nothing: ranks
+// carry no delay stream and PerturbPoint returns immediately.
+func TestPerturbNoopWithoutPlan(t *testing.T) {
+	team := NewTeam(Config{Ranks: 2})
+	for _, r := range team.ranks {
+		if r.pert != nil {
+			t.Fatalf("rank %d has a delay stream without a plan", r.ID)
+		}
+	}
+	team.Run(func(r *Rank) {
+		r.PerturbPoint(PerturbStart)
+		r.PerturbPoint(PerturbBarrier)
+		r.PerturbPoint(PerturbFlush)
+	})
+	if (PerturbPlan{}).Enabled() {
+		t.Fatal("zero plan reports Enabled")
+	}
+}
+
+// TestPerturbDefaults checks defaulting: an enabled plan gets non-zero
+// jitter caps, explicit caps are kept, and a disabled plan stays zero.
+func TestPerturbDefaults(t *testing.T) {
+	p := PerturbPlan{Seed: 3}.withDefaults()
+	if p.StartJitterNs <= 0 || p.BarrierJitterNs <= 0 || p.FlushJitterNs <= 0 {
+		t.Fatalf("enabled plan missing default caps: %+v", p)
+	}
+	q := PerturbPlan{Seed: 3, StartJitterNs: 42, BarrierJitterNs: 43, FlushJitterNs: 44}.withDefaults()
+	if q.StartJitterNs != 42 || q.BarrierJitterNs != 43 || q.FlushJitterNs != 44 {
+		t.Fatalf("explicit caps overwritten: %+v", q)
+	}
+	z := PerturbPlan{}.withDefaults()
+	if z != (PerturbPlan{}) {
+		t.Fatalf("zero plan gained defaults: %+v", z)
+	}
+}
+
+// TestPerturbDelayStreamsDeterministic checks the per-rank delay streams
+// are a pure function of (plan seed, rank): distinct across ranks and
+// reproducible across teams, independent of Config.Seed.
+func TestPerturbDelayStreamsDeterministic(t *testing.T) {
+	collect := func(cfg Config) [][]uint64 {
+		team := NewTeam(cfg)
+		out := make([][]uint64, cfg.Ranks)
+		for i, r := range team.ranks {
+			vs := make([]uint64, 4)
+			for j := range vs {
+				vs[j] = r.pert.Uint64()
+			}
+			out[i] = vs
+		}
+		return out
+	}
+	a := collect(Config{Ranks: 4, Seed: 1, Perturb: PerturbPlan{Seed: 5}})
+	b := collect(Config{Ranks: 4, Seed: 999, Perturb: PerturbPlan{Seed: 5}})
+	seen := map[uint64]bool{}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("rank %d delay stream depends on Config.Seed", i)
+			}
+		}
+		if seen[a[i][0]] {
+			t.Fatalf("delay streams collide across ranks")
+		}
+		seen[a[i][0]] = true
+	}
+	c := collect(Config{Ranks: 4, Seed: 1, Perturb: PerturbPlan{Seed: 6}})
+	if c[0][0] == a[0][0] && c[1][0] == a[1][0] {
+		t.Fatal("different plan seeds produced the same delay schedule")
+	}
+}

@@ -5,6 +5,22 @@ import "math"
 // Prng is a small, fast, deterministic pseudo-random generator
 // (xoshiro256** seeded via splitmix64). Each rank owns one so that runs
 // are reproducible for a fixed Config.Seed regardless of scheduling.
+//
+// Rank-stream guarantee (pinned by TestRankSeedDerivationPinned): rank i
+// of a team with Config.Seed = s draws from NewPrng(s + i*0x9e3779b97f4a7c
+// + 1). Because the four state words are derived by iterating Splitmix64 —
+// a bijection on 64-bit integers — distinct seeds always produce distinct
+// initial states, so the streams of any two ranks of one team are distinct
+// for every rank count, and a rank's stream depends only on (s, i), never
+// on scheduling, team size, or the perturbation plan. The derivation is
+// additive, so the same 256-bit state does recur across *configurations*
+// whose (s, i) collide — e.g. (s, i+1) and (s+0x9e3779b97f4a7c, i) — which
+// is harmless within a run and only matters if callers assume two teams
+// with nearby seeds have disjoint streams; seeds chosen more than ~4.4e16
+// apart, or small integers (1, 2, 3, ...), never collide in practice
+// because the stride is ≈ 4.4e16. Streams are full xoshiro256** sequences:
+// overlap between distinct initial states is astronomically improbable
+// (period 2^256 − 1).
 type Prng struct {
 	s [4]uint64
 }

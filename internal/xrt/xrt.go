@@ -29,8 +29,16 @@ type Config struct {
 	RanksPerNode int
 	// Cost is the virtual-time cost model. Zero value means DefaultCostModel.
 	Cost CostModel
-	// Seed seeds the per-rank deterministic RNGs.
+	// Seed seeds the per-rank deterministic RNGs. Each rank derives an
+	// independent stream (see NewTeam); for a fixed Seed every randomized
+	// algorithmic decision is reproducible regardless of scheduling.
 	Seed int64
+	// Perturb, when enabled (non-zero Seed), injects deterministic
+	// physical delays at rank starts, barrier arrivals, and buffer
+	// flushes, so tests can sweep schedules while asserting bit-identical
+	// output. It never affects virtual time, statistics, or Seed's RNG
+	// streams.
+	Perturb PerturbPlan
 }
 
 // CostModel holds calibrated virtual-time costs, all in nanoseconds unless
@@ -228,6 +236,7 @@ type Rank struct {
 	stats     CommStats
 	foreignNs atomic.Int64 // work charged to this rank by other ranks
 	rng       *Prng
+	pert      *Prng // delay stream; nil unless Config.Perturb is enabled
 }
 
 // Team returns the team this rank belongs to.
@@ -373,6 +382,7 @@ func NewTeam(cfg Config) *Team {
 		cfg.RanksPerNode = 24
 	}
 	cfg.Cost = cfg.Cost.withDefaults()
+	cfg.Perturb = cfg.Perturb.withDefaults()
 	t := &Team{
 		cfg:    cfg,
 		cost:   cfg.Cost,
@@ -387,6 +397,9 @@ func NewTeam(cfg Config) *Team {
 			ID:   i,
 			team: t,
 			rng:  NewPrng(cfg.Seed + int64(i)*0x9e3779b97f4a7c + 1),
+		}
+		if cfg.Perturb.Enabled() {
+			t.ranks[i].pert = NewPrng(perturbSeed(cfg.Perturb.Seed, i))
 		}
 	}
 	return t
@@ -423,6 +436,7 @@ func (t *Team) Run(fn func(r *Rank)) PhaseStats {
 	for _, r := range t.ranks {
 		go func(r *Rank) {
 			defer wg.Done()
+			r.PerturbPoint(PerturbStart)
 			fn(r)
 		}(r)
 	}
@@ -473,8 +487,11 @@ func (t *Team) AggStats() CommStats {
 func (t *Team) RankStats(id int) CommStats { return t.ranks[id].stats }
 
 // Barrier blocks until every rank has arrived, then synchronizes all
-// virtual clocks to the maximum, as a real barrier would.
+// virtual clocks to the maximum, as a real barrier would. Under an
+// active PerturbPlan the arrival is preceded by a deterministic delay,
+// reordering which rank arrives last (and thus runs barrier epilogues).
 func (r *Rank) Barrier() {
+	r.PerturbPoint(PerturbBarrier)
 	r.team.bar.await(func() { r.team.syncClocks() })
 }
 
