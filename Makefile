@@ -29,11 +29,15 @@ verify: build vet
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
 	$(GO) test -short -race -run 'Perturb' ./internal/verify/
+	$(GO) test -short -race -run 'Conservation|Metamorphic' ./internal/metrics/
 	$(GO) test -fuzz FuzzParse -fuzztime 3s -run '^$$' ./internal/fastq/
 	$(GO) test -fuzz FuzzParse -fuzztime 3s -run '^$$' ./internal/fasta/
 
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths.
+# Also writes the per-stage metrics reports (human+wheat end-to-end runs)
+# to metrics.json — CI uploads it as the run's observability artifact.
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x .
 	$(GO) test -run xxx -bench BenchmarkDHTGet ./internal/dht/
+	$(GO) run ./cmd/benchsuite -metrics-out metrics.json

@@ -1,9 +1,11 @@
 // Command asmstats reports assembly statistics (N50 etc.) for a FASTA
-// file, optionally validating against a reference.
+// file, optionally validating against a reference, and renders metrics
+// reports (hipmer -metrics-out) as the paper-style per-module breakdown.
 //
 // Usage:
 //
 //	asmstats assembly.fasta [-ref reference.fasta]
+//	asmstats -report metrics.json
 package main
 
 import (
@@ -12,14 +14,35 @@ import (
 	"os"
 
 	"hipmer/internal/fasta"
+	"hipmer/internal/metrics"
 	"hipmer/internal/stats"
 )
 
 func main() {
 	refPath := flag.String("ref", "", "reference FASTA for validation")
+	report := flag.String("report", "", "metrics JSON (from hipmer -metrics-out) to render as a per-stage breakdown table")
 	flag.Parse()
+
+	if *report != "" {
+		reps, err := metrics.ReadFile(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asmstats: %v\n", err)
+			os.Exit(1)
+		}
+		for i, rep := range reps {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(rep.FormatTable())
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: asmstats [-ref reference.fasta] assembly.fasta")
+		fmt.Fprintln(os.Stderr, "usage: asmstats [-ref reference.fasta] assembly.fasta\n"+
+			"       asmstats -report metrics.json")
 		os.Exit(2)
 	}
 	recs, err := fasta.ReadFile(flag.Arg(0))

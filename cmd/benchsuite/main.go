@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"hipmer/internal/expt"
+	"hipmer/internal/metrics"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	compare := flag.Bool("compare", false, "§5.6: competing assemblers")
 	ablations := flag.Bool("ablations", false, "design-choice ablations: Bloom memory, aggregating stores, oracle sizing")
 	verifyF := flag.Bool("verify", false, "metamorphic verification: rank-count invariance, schedule perturbation, assembly oracle")
+	metricsOut := flag.String("metrics-out", "", "write per-stage metrics reports (human+wheat, JSON array) to this path")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
 	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
@@ -57,7 +59,8 @@ func main() {
 		sc.Seed = *seed
 	}
 
-	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF) {
+	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
+		*metricsOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,6 +118,18 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *metricsOut != "" {
+		reports, err := expt.MetricsReports(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		if err := metrics.WriteFileAll(*metricsOut, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metrics reports to %s\n", len(reports), *metricsOut)
 	}
 	if *all || *ablations {
 		_, text := expt.AblationBloom(sc)

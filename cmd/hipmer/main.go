@@ -50,6 +50,7 @@ func main() {
 	refPath := flag.String("ref", "", "optional reference FASTA for validation")
 	doVerify := flag.Bool("verify", false, "run the assembly oracle (with -ref: also misassembly and gap checks); exit nonzero on failure")
 	perturbSeed := flag.Int64("perturb-seed", 0, "schedule-perturbation seed (0 = off); output must not depend on it")
+	metricsOut := flag.String("metrics-out", "", "write the per-stage metrics report (JSON) to this path")
 	flag.Parse()
 
 	if len(libs) == 0 {
@@ -100,6 +101,19 @@ func main() {
 		os.Exit(1)
 	}
 	f.Close()
+
+	if *metricsOut != "" && res.Metrics != nil {
+		var names []string
+		for _, lib := range libs {
+			names = append(names, lib.Name)
+		}
+		res.Metrics.Dataset = strings.Join(names, "+")
+		if err := res.Metrics.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hipmer: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: wrote %s (%d stage spans)\n", *metricsOut, len(res.Metrics.Stages))
+	}
 
 	fmt.Printf("assembly: %d sequences, %d bases, N50 %d, max %d, %d gap bases\n",
 		res.Stats.Sequences, res.Stats.TotalLen, res.Stats.N50,

@@ -29,6 +29,7 @@ import (
 	"hipmer/internal/contig"
 	"hipmer/internal/fastq"
 	"hipmer/internal/genome"
+	"hipmer/internal/metrics"
 	"hipmer/internal/pipeline"
 	"hipmer/internal/seqdb"
 	"hipmer/internal/stats"
@@ -148,6 +149,14 @@ type Result struct {
 	Gaps         int
 	// Verify is the oracle report (nil unless Options.Verify was set).
 	Verify *VerifyReport
+	// Metrics is the per-stage observability report: one span per
+	// pipeline stage (plus named sub-spans), each with per-rank
+	// communication deltas, virtual busy time, and load-imbalance
+	// statistics. Every field except the wall-clock ones is
+	// deterministic for a fixed configuration. Serialize it with
+	// Metrics.WriteFile (cmd/hipmer -metrics-out) and render it with
+	// Metrics.FormatTable (asmstats -report).
+	Metrics *metrics.Report
 }
 
 // VerifyReport is the assembly oracle's verdict (Options.Verify).
@@ -221,7 +230,7 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Scaffolds: pres.FinalSeqs}
+	res := &Result{Scaffolds: pres.FinalSeqs, Metrics: pres.Metrics}
 	if pres.Contigs != nil {
 		for _, c := range pres.Contigs.All() {
 			res.ContigSeqs = append(res.ContigSeqs, c.Seq)

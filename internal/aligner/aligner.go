@@ -197,6 +197,7 @@ func BuildIndex(team *xrt.Team, contigsByRank [][]*contig.Contig, opt Options) *
 		}
 		shard[k] = cur
 	})
+	team.BeginSpan("index-build")
 	team.Run(func(r *xrt.Rank) {
 		for _, c := range contigsByRank[r.ID] {
 			id := c.ID
@@ -217,6 +218,7 @@ func BuildIndex(team *xrt.Team, contigsByRank [][]*contig.Contig, opt Options) *
 		// lookups lock-free through the per-rank software cache
 		idx.seeds.Freeze(r)
 	})
+	team.EndSpan()
 	idx.seeds.SetApply(nil)
 	return idx
 }
@@ -396,6 +398,7 @@ func extendDiagonal(q, ctg []byte, diag int, opt Options) (Alignment, bool) {
 // alignments of readsByRank[r][i].
 func AlignAll(team *xrt.Team, idx *Index, readsByRank [][]fastq.Record) [][][]Alignment {
 	out := make([][][]Alignment, team.Config().Ranks)
+	team.BeginSpan("align")
 	team.Run(func(r *xrt.Rank) {
 		reads := readsByRank[r.ID]
 		res := make([][]Alignment, len(reads))
@@ -406,5 +409,15 @@ func AlignAll(team *xrt.Team, idx *Index, readsByRank [][]fastq.Record) [][][]Al
 		out[r.ID] = res
 		r.Barrier()
 	})
+	var reads, alns int64
+	for _, rr := range out {
+		reads += int64(len(rr))
+		for _, as := range rr {
+			alns += int64(len(as))
+		}
+	}
+	team.AddCounter("reads_aligned", reads)
+	team.AddCounter("alignments", alns)
+	team.EndSpan()
 	return out
 }

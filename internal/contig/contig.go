@@ -100,6 +100,12 @@ type Result struct {
 	NumContigs int64
 	// UUKmers is the number of vertices in the graph.
 	UUKmers int64
+	// Claimed counts walks that successfully claimed a seed; every such
+	// walk either completes a contig or aborts, so
+	// Claimed == Completed + Aborted always holds (pinned by test).
+	Claimed int64
+	// Completed counts walks that finished a contig.
+	Completed int64
 	// Aborted counts walks that lost a conflict and were retried.
 	Aborted int64
 	// Rounds is the maximum number of quiescence rounds any rank ran.
@@ -141,6 +147,7 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 	res.Graph = graph
 
 	// --- graph construction: project UU k-mers out of the k-mer table ---
+	team.BeginSpan("graph-build")
 	res.BuildPhase = team.Run(func(r *xrt.Rank) {
 		kt.LocalRange(r, func(km kmer.Kmer, d kanalysis.KmerData) bool {
 			if d.IsUU() {
@@ -155,15 +162,25 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 			res.UUKmers = n
 		}
 	})
+	team.EndSpan()
 
 	// --- parallel traversal ---------------------------------------------
+	team.BeginSpan("traverse")
 	tr := &traverser{team: team, graph: graph, kt: kt, k: opt.K}
 	contigsByRank := make([][]*Contig, team.Config().Ranks)
 	res.TraversePhase = team.Run(func(r *xrt.Rank) {
 		contigsByRank[r.ID] = tr.traverseRank(r)
 	})
+	res.Claimed = tr.claims.Load()
+	res.Completed = tr.wins.Load()
 	res.Aborted = tr.aborts.Load()
 	res.Rounds = tr.rounds.Load()
+	// Speculative-traversal outcome counters: claims = wins + aborts.
+	team.AddCounter("walks_claimed", res.Claimed)
+	team.AddCounter("walks_completed", res.Completed)
+	team.AddCounter("walks_aborted", res.Aborted)
+	team.AddCounter("quiescence_rounds", res.Rounds)
+	team.EndSpan()
 
 	// --- global contig IDs + k-mer marking -------------------------------
 	// IDs are assigned by sorting content hashes of the canonical contig
@@ -176,6 +193,7 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 			shard[k] = n
 		}
 	})
+	team.BeginSpan("assign-ids")
 	team.Run(func(r *xrt.Rank) {
 		mine := contigsByRank[r.ID]
 		keys := make([]contigKey, len(mine))
@@ -218,8 +236,11 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 		// consumers (validation, output) only read — publish it frozen.
 		graph.Freeze(r)
 	})
+	team.EndSpan()
 	graph.SetApply(nil)
 	res.Contigs = contigsByRank
+	team.AddCounter("uu_kmers", res.UUKmers)
+	team.AddCounter("contigs", res.NumContigs)
 	return res
 }
 
@@ -228,7 +249,9 @@ type traverser struct {
 	graph  *dht.Table[kmer.Kmer, Node]
 	kt     *dht.Table[kmer.Kmer, kanalysis.KmerData]
 	k      int
-	aborts atomic.Int64
+	claims atomic.Int64 // walks that claimed their seed
+	wins   atomic.Int64 // walks that completed a contig
+	aborts atomic.Int64 // walks that lost a conflict and released
 	rounds atomic.Int64
 }
 
@@ -274,12 +297,18 @@ const (
 // optional precondition holds. Checking the precondition inside the remote
 // atomic matters: a vertex that fails reciprocity is a boundary belonging
 // to a different contig and must never be claimed, and the check must see
-// consistent node data.
+// consistent node data. Only a charged attempt pays the remote-atomic
+// cost; spin retries while waiting out a newer walk go through
+// MutateRetry so the charge is per vertex, not per poll (see there).
 func (t *traverser) tryClaim(r *xrt.Rank, v kmer.Kmer, walkID int64,
-	pre func(Node) bool) (Node, int) {
+	pre func(Node) bool, charged bool) (Node, int) {
 	var node Node
 	status := claimGone
-	t.graph.Mutate(r, v, func(n Node, exists bool) (Node, bool) {
+	mutate := t.graph.Mutate
+	if !charged {
+		mutate = t.graph.MutateRetry
+	}
+	mutate(r, v, func(n Node, exists bool) (Node, bool) {
 		if !exists {
 			status = claimGone
 			return n, false
@@ -408,10 +437,11 @@ func (t *traverser) locallyContiguous(r *xrt.Rank, km kmer.Kmer, n Node) bool {
 // already taken or the walk aborted after a lost conflict.
 func (t *traverser) walkFrom(r *xrt.Rank, seed kmer.Kmer) (*Contig, bool) {
 	walkID := t.team.NextID()
-	node, st := t.tryClaim(r, seed, walkID, nil)
+	node, st := t.tryClaim(r, seed, walkID, nil, true)
 	if st != claimOK {
 		return nil, false
 	}
+	t.claims.Add(1)
 	k := t.k
 	start := pos{canon: seed, flipped: false}
 	claimed := []pos{start}
@@ -457,6 +487,7 @@ func (t *traverser) walkFrom(r *xrt.Rank, seed kmer.Kmer) (*Contig, bool) {
 		c.NbrL, c.NbrR = c.NbrR, c.NbrL
 		c.HasNbrL, c.HasNbrR = c.HasNbrR, c.HasNbrL
 	}
+	t.wins.Add(1)
 	return c, true
 }
 
@@ -517,7 +548,7 @@ func (t *traverser) extend(r *xrt.Rank, walkID int64, start pos, startNode Node,
 		// pass through (the paper's lightweight synchronization scheme).
 		var node Node
 		for spins := 0; ; spins++ {
-			n, st := t.tryClaim(r, canon, walkID, recip)
+			n, st := t.tryClaim(r, canon, walkID, recip, spins == 0)
 			switch st {
 			case claimOK:
 				node = n

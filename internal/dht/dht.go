@@ -411,6 +411,27 @@ func (t *Table[K, V]) Mutate(r *xrt.Rank, k K, fn func(v V, exists bool) (V, boo
 	st.mu.Unlock()
 }
 
+// MutateRetry is Mutate without the communication charge. It exists for
+// bounded-spin retry loops on remote atomics (the traversal's wait-or-
+// abort scheme): the first attempt goes through Mutate and is charged
+// once; physical retries while waiting for another rank to release its
+// claim must not charge again, or the virtual clock and lookup counters
+// would scale with host-scheduler interleaving — wall-clock contention
+// laundered into deterministic fields. The wait itself advances no
+// virtual time (the simulator cannot know the release time); contention
+// is observable in the traversal's abort/retry counters instead.
+func (t *Table[K, V]) MutateRetry(r *xrt.Rank, k K, fn func(v V, exists bool) (V, bool)) {
+	t.assertMutable("MutateRetry")
+	h := t.opt.Hash(k)
+	st := t.stripeFor(t.ownerOf(h), h)
+	st.mu.Lock()
+	old, exists := st.m[k]
+	if nv, store := fn(old, exists); store {
+		st.m[k] = nv
+	}
+	st.mu.Unlock()
+}
+
 // Delete removes k at its owner (charged as a lookup-class operation).
 func (t *Table[K, V]) Delete(r *xrt.Rank, k K) {
 	t.assertMutable("Delete")

@@ -175,6 +175,7 @@ func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
 		seq []byte
 	}
 	taggedByRank := make([][]tagged, p)
+	team.BeginSpan("project-reads")
 	team.Run(func(r *xrt.Rank) {
 		var mine []tagged
 		for li, lib := range libs {
@@ -213,6 +214,7 @@ func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
 		taggedByRank[r.ID] = mine
 		r.Barrier()
 	})
+	team.EndSpan()
 	for _, ts := range taggedByRank {
 		for _, t := range ts {
 			if len(gaps[t.gap].reads) < opt.MaxGapReads {
@@ -228,6 +230,7 @@ func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
 	}
 	closures := make([]closure, len(gaps))
 	var verified, checked atomic.Int64
+	team.BeginSpan("close")
 	res.Phase = team.Run(func(r *xrt.Rank) {
 		for gi := r.ID; gi < len(gaps); gi += p {
 			g := gaps[gi]
@@ -258,6 +261,14 @@ func Run(team *xrt.Team, scafRes *scaffold.Result, libs []scaffold.ReadLib,
 		}
 	}
 	res.Closed = res.BySpanning + res.ByWalking + res.ByPatching
+	team.AddCounter("gaps", int64(res.Gaps))
+	team.AddCounter("closed", int64(res.Closed))
+	team.AddCounter("by_spanning", int64(res.BySpanning))
+	team.AddCounter("by_walking", int64(res.ByWalking))
+	team.AddCounter("by_patching", int64(res.ByPatching))
+	team.AddCounter("verify_checked", int64(res.Checked))
+	team.AddCounter("verify_confirmed", int64(res.Verified))
+	team.EndSpan()
 
 	// splice closures into final scaffold sequences
 	gapIdxByID := make(map[gapID]int)

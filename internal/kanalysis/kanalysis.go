@@ -200,6 +200,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	summaries := make([]*mg.Summary[kmer.Kmer], p)
 	hhSets := make([]map[kmer.Kmer]*KmerData, p)
 	var totalKmers int64
+	team.BeginSpan("sketch")
 	res.SketchPhase = team.Run(func(r *xrt.Rank) {
 		sk := hll.New(14)
 		sm := mg.New[kmer.Kmer](opt.Theta)
@@ -221,6 +222,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 			totalKmers = total
 		}
 	})
+	team.EndSpan()
 	res.TotalKmers = totalKmers
 
 	// Merge sketches (deterministic rank order) — every rank derives the
@@ -285,6 +287,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 			shard[k] = KmerData{}
 		}
 	})
+	team.BeginSpan("bloom-screen")
 	res.BloomPhase = team.Run(func(r *xrt.Rank) {
 		n := 0
 		for _, rec := range readsByRank[r.ID] {
@@ -300,6 +303,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 		table.Flush(r)
 		r.Barrier()
 	})
+	team.EndSpan()
 
 	// pass 3: exact counting with extension evidence. Heavy hitters are
 	// accumulated rank-locally; everything else goes to its owner.
@@ -309,6 +313,10 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 			shard[k] = d
 		}
 	})
+	// The count pass, heavy-hitter reduction, and finalization share one
+	// SPMD phase; the span covers them all, with the reduction exposed
+	// through the hh_* counters below.
+	team.BeginSpan("count")
 	res.CountPhase = team.Run(func(r *xrt.Rank) {
 		local := make(map[kmer.Kmer]*KmerData, len(hhSet))
 		n := 0
@@ -381,7 +389,16 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 		// lock-free lookups behind the per-rank software cache.
 		table.Freeze(r)
 	})
+	team.EndSpan()
 	table.SetApply(nil)
+
+	// Stage counters land on the enclosing "kmer-analysis" span (no-ops
+	// when the stage is driven directly without a span).
+	team.AddCounter("total_kmers", res.TotalKmers)
+	team.AddCounter("distinct_estimate", int64(res.DistinctEstimate))
+	team.AddCounter("heavy_hitters", int64(res.HeavyHitters))
+	team.AddCounter("peak_entries", res.PeakEntries)
+	team.AddCounter("kept", res.Kept)
 	return res
 }
 

@@ -1,0 +1,116 @@
+package metrics_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hipmer/internal/metrics"
+	"hipmer/internal/xrt"
+)
+
+// TestEmptySpanZeroDenominators is the regression test for the derived-
+// rate helpers: a span that did no work (zero lookups, zero messages,
+// zero cache accesses) must report every rate as exactly 0 — never
+// NaN or Inf, which would poison the JSON encoder and every downstream
+// aggregation.
+func TestEmptySpanZeroDenominators(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 3, RanksPerNode: 2})
+	team.BeginSpan("empty")
+	team.EndSpan()
+	rep := metrics.FromTeam(team)
+
+	st := rep.Stage("empty")
+	if st == nil {
+		t.Fatal("empty span not reported")
+	}
+	rates := map[string]float64{
+		"off_node_lookup_frac": st.Comm.OffNodeLookupFrac,
+		"cache_hit_rate":       st.Comm.CacheHitRate,
+		"bytes_per_msg":        st.Comm.BytesPerMsg,
+		"utilization":          st.Utilization,
+		"gini":                 st.Imbalance.Gini,
+		"mean":                 st.Imbalance.Mean,
+	}
+	for name, v := range rates {
+		if v != 0 {
+			t.Errorf("empty span %s = %v, want 0", name, v)
+		}
+	}
+	// All-equal (all-zero) rank work: max/mean is defined to be exactly 1.
+	if st.Imbalance.MaxOverMean != 1 {
+		t.Errorf("empty span max/mean = %v, want 1 (all ranks equal)", st.Imbalance.MaxOverMean)
+	}
+
+	// The canonical failure mode: NaN does not survive json.Marshal.
+	b, err := rep.ZeroWall().MarshalIndent()
+	if err != nil {
+		t.Fatalf("empty-span report does not marshal: %v", err)
+	}
+	for _, bad := range []string{"NaN", "Inf", "null"} {
+		if strings.Contains(string(b), bad) {
+			t.Errorf("empty-span report JSON contains %s", bad)
+		}
+	}
+
+	// The human rendering must also stay finite.
+	if text := rep.FormatTable(); strings.Contains(text, "NaN") || strings.Contains(text, "Inf") {
+		t.Errorf("empty-span table contains NaN/Inf:\n%s", text)
+	}
+}
+
+// TestCommStatsDerivedRatesZero pins the xrt helpers the report is built
+// from, including on the result of Sub with identical operands (an
+// empty stage delta).
+func TestCommStatsDerivedRatesZero(t *testing.T) {
+	var s xrt.CommStats
+	d := s.Sub(s)
+	for name, v := range map[string]float64{
+		"BytesPerMsg":       d.BytesPerMsg(),
+		"OffNodeLookupFrac": d.OffNodeLookupFrac(),
+		"CacheHitRate":      d.CacheHitRate(),
+	} {
+		if v != 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("zero CommStats %s = %v, want exactly 0", name, v)
+		}
+	}
+}
+
+// TestAddCounterWithoutSpan: stage packages call AddCounter
+// unconditionally; with no open span (a stage driven directly by its own
+// tests) it must be a silent no-op.
+func TestAddCounterWithoutSpan(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2})
+	team.AddCounter("orphan", 5)
+	if n := len(team.Spans()); n != 0 {
+		t.Errorf("AddCounter without a span created %d records", n)
+	}
+}
+
+// TestNestedSpanPaths pins the path construction sub-span counters and
+// lookups key on.
+func TestNestedSpanPaths(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2})
+	team.BeginSpan("outer")
+	team.BeginSpan("mid")
+	team.BeginSpan("inner")
+	team.AddCounter("c", 2)
+	team.AddCounter("c", 3)
+	team.EndSpan()
+	team.EndSpan()
+	team.EndSpan()
+	rep := metrics.FromTeam(team)
+	if got := len(rep.Stages); got != 3 {
+		t.Fatalf("%d stages, want 3", got)
+	}
+	inner := rep.Stage("outer/mid/inner")
+	if inner == nil {
+		t.Fatal("missing path outer/mid/inner")
+	}
+	if inner.Depth != 2 || inner.Name != "inner" {
+		t.Errorf("inner depth/name = %d/%q", inner.Depth, inner.Name)
+	}
+	if inner.Counters["c"] != 5 {
+		t.Errorf("counter c = %d, want 5 (accumulated)", inner.Counters["c"])
+	}
+}

@@ -1,0 +1,97 @@
+package metrics_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hipmer/internal/pipeline"
+)
+
+var perturbSeeds = []int64{0, 1, 7, 42}
+
+// TestMetamorphicLayer is the metrics layer's own metamorphic property:
+// on a workload whose charges are all in rank-local program order,
+// sweeping schedule-perturbation seeds (PR 2's harness) reorders the
+// physical execution but must not move a single non-wall field — full
+// bit-identity of the report after ZeroWall. Only the WallNs fields read
+// ambient clocks; everything else derives from virtual time and
+// operation counts. A failure here means the metrics layer (or the
+// runtime's charge accounting) laundered wall-clock time into a
+// deterministic field.
+func TestMetamorphicLayer(t *testing.T) {
+	var base []byte
+	for _, s := range perturbSeeds {
+		b, err := syntheticRun(s).ZeroWall().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = b
+			continue
+		}
+		if !bytes.Equal(b, base) {
+			t.Errorf("perturb seed %d: report differs from seed %d\n%s",
+				s, perturbSeeds[0], firstDiff(b, base))
+		}
+	}
+}
+
+// TestMetamorphicPipeline sweeps the perturbation seeds over the full
+// toy assembly. The pipeline's speculative phases have schedule-
+// dependent performance profiles by design (which rank wins a claim
+// race, how much work a loser wastes — see DESIGN.md §9), so the
+// bit-identity claim is made on the deterministic projection
+// (ZeroProfile): the schema, the complete stage tree, and every outcome
+// counter must be identical across seeds. On top of that, invariants
+// that hold within any single schedule are checked per seed:
+// claims = wins + aborts, and wins equal to the (schedule-invariant)
+// contig count.
+func TestMetamorphicPipeline(t *testing.T) {
+	var base []byte
+	var baseContigs int64
+	for _, s := range perturbSeeds {
+		res, _ := toyRun(t, s)
+		rep := res.Metrics
+
+		tr := rep.Stage("contig-generation/traverse")
+		c := tr.Counters
+		if c["walks_claimed"] != c["walks_completed"]+c["walks_aborted"] {
+			t.Errorf("seed %d: claims %d != completed %d + aborted %d",
+				s, c["walks_claimed"], c["walks_completed"], c["walks_aborted"])
+		}
+
+		b, err := rep.ZeroProfile(pipeline.ScheduleDependentCounters...).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base, baseContigs = b, res.Contigs.Completed
+			continue
+		}
+		if !bytes.Equal(b, base) {
+			t.Errorf("perturb seed %d: deterministic projection differs from seed %d\n%s",
+				s, perturbSeeds[0], firstDiff(b, base))
+		}
+		if res.Contigs.Completed != baseContigs {
+			t.Errorf("seed %d: completed walks %d != %d (contig set must be schedule-invariant)",
+				s, res.Contigs.Completed, baseContigs)
+		}
+	}
+}
+
+// TestMetamorphicIOStage: the io stage has no speculation — its charges
+// are pure deterministic partitioning — so unlike the traversal its FULL
+// profile (virtual time, per-rank work, comm, imbalance) must be
+// bit-identical across perturbation seeds, wall fields aside.
+func TestMetamorphicIOStage(t *testing.T) {
+	res0, _ := toyRun(t, 0)
+	io0 := res0.Metrics.ZeroWall().Stage("io")
+	for _, s := range perturbSeeds[1:] {
+		res, _ := toyRun(t, s)
+		io := res.Metrics.ZeroWall().Stage("io")
+		if !reflect.DeepEqual(io, io0) {
+			t.Errorf("seed %d: io stage profile differs:\n%+v\nvs\n%+v", s, io, io0)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"hipmer/internal/gapclose"
 	"hipmer/internal/genome"
 	"hipmer/internal/kanalysis"
+	"hipmer/internal/metrics"
 	"hipmer/internal/scaffold"
 	"hipmer/internal/seqdb"
 	"hipmer/internal/verify"
@@ -106,6 +107,24 @@ type Result struct {
 	Timings []StageTiming
 	// Verify is the oracle report (nil unless Config.Verify was set).
 	Verify *verify.Report
+	// Metrics is the per-stage observability report built from the
+	// team's span records: per-rank comm deltas, busy time, and
+	// load-imbalance statistics for every stage and sub-span. All its
+	// fields except the wall-clock ones are deterministic.
+	Metrics *metrics.Report
+}
+
+// ScheduleDependentCounters lists the stage counters whose values track
+// contention or memory high-water marks and therefore vary with the
+// physical goroutine interleaving, like the performance profile of the
+// speculative phases they instrument: which rank wins a claim race, how
+// much work a losing walk wastes, and how many quiescence rounds a rank
+// observes are properties of one interleaving, not of the input (the
+// assembly itself is interleaving-invariant — see internal/xrt/perturb).
+// Metrics consumers comparing runs across schedules should zero these
+// via Report.ZeroProfile.
+var ScheduleDependentCounters = []string{
+	"peak_entries", "quiescence_rounds", "walks_claimed", "walks_aborted",
 }
 
 // Timing returns the named stage timing (zero value if absent).
@@ -124,18 +143,21 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 	res := &Result{}
 	p := team.Config().Ranks
 
+	// track brackets one top-level stage in an observability span; the
+	// span records per-rank comm and busy-time deltas (internal/metrics
+	// consumes them), and the aggregate feeds the legacy Timings list.
 	track := func(name string, fn func() error) error {
-		beforeV := team.VirtualNow()
-		beforeC := team.AggStats()
-		beforeW := time.Now()
-		if err := fn(); err != nil {
+		team.BeginSpan(name)
+		err := fn()
+		rec := team.EndSpan()
+		if err != nil {
 			return err
 		}
 		res.Timings = append(res.Timings, StageTiming{
 			Name:    name,
-			Virtual: team.VirtualNow() - beforeV,
-			Wall:    time.Since(beforeW),
-			Comm:    team.AggStats().Sub(beforeC),
+			Virtual: time.Duration(rec.VirtualNs),
+			Wall:    time.Duration(rec.WallNs),
+			Comm:    rec.AggComm(),
 		})
 		return nil
 	}
@@ -241,6 +263,7 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 			res.FinalSeqs = append(res.FinalSeqs, c.Seq)
 		}
 		res.addTotal()
+		res.Metrics = metrics.FromTeam(team)
 		res.runVerify(cfg, merged)
 		return res, nil
 	}
@@ -286,6 +309,7 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 		res.FinalSeqs = res.Gapclose.ScaffoldSeqs
 	}
 	res.addTotal()
+	res.Metrics = metrics.FromTeam(team)
 	res.runVerify(cfg, merged)
 	return res, nil
 }

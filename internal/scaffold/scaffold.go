@@ -149,10 +149,15 @@ func Run(team *xrt.Team, ctgRes *contig.Result,
 	res := &Result{}
 
 	// §4.1 contig depths and termination states
+	team.BeginSpan("depths")
 	scByRank := computeDepths(team, ctgRes, kt, opt, res)
+	team.EndSpan()
 
 	// §4.2 bubble identification and path compression
+	team.BeginSpan("bubbles")
 	merged, mergedByRank := mergeBubbles(team, scByRank, opt, res)
+	team.AddCounter("bubbles_popped", int64(res.Bubbles))
+	team.EndSpan()
 	res.Contigs = merged
 	res.ContigsByRank = mergedByRank
 
@@ -171,21 +176,31 @@ func Run(team *xrt.Team, ctgRes *contig.Result,
 		}
 	}
 	vStart := team.VirtualNow()
+	team.BeginSpan("merAligner")
 	res.Index = aligner.BuildIndex(team, ctgForIndex, alnOpt)
 	for _, lib := range libs {
 		res.Alignments = append(res.Alignments, aligner.AlignAll(team, res.Index, lib.ReadsByRank))
 	}
+	team.EndSpan()
 	res.AlignPhase = xrt.PhaseStats{Virtual: team.VirtualNow() - vStart}
 
 	// §4.4 insert-size estimation per library
+	team.BeginSpan("inserts")
 	estimateInserts(team, libs, res, opt)
+	team.EndSpan()
 
 	// §4.5–4.6 splints, spans, and link generation
+	team.BeginSpan("splint-span")
 	links := generateLinks(team, libs, merged, res, opt)
 	res.Links = links
+	team.AddCounter("links", int64(len(links)))
+	team.EndSpan()
 
 	// §4.7 ordering and orientation
+	team.BeginSpan("ordering")
 	orderAndOrient(team, merged, links, res, opt)
+	team.AddCounter("scaffolds", int64(len(res.Scaffolds)))
+	team.EndSpan()
 	return res
 }
 

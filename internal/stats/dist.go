@@ -1,0 +1,119 @@
+// Load-imbalance statistics over per-rank samples. The paper's wheat
+// story (§3.1, Figure 6) is a load-imbalance story: a handful of
+// heavy-hitter k-mers concentrate receiver-side work on a few ranks, and
+// the max/mean ratio of per-rank busy time is the quantity the
+// Misra–Gries optimization flattens. These helpers turn a per-rank
+// sample (work ns, lookup counts, bytes) into the summary the metrics
+// reports carry: quantiles, the max/mean imbalance factor, and a
+// Gini-style concentration coefficient.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation between adjacent order statistics, the common "type 7"
+// estimator. It copies xs before sorting. Empty input returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Dist summarizes a per-rank sample for load-imbalance reporting. All
+// fields are 0 for an empty sample; every derived ratio is defined to be
+// finite (never NaN/Inf) so the struct can always be JSON-marshalled.
+type Dist struct {
+	// N is the sample size (the rank count).
+	N int `json:"n"`
+	// Mean, P50, P95, Max summarize the sample.
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Max  float64 `json:"max"`
+	// MaxOverMean is the classic load-imbalance factor: ≥ 1, and exactly
+	// 1 iff all samples are equal (including the all-zero sample). 0 only
+	// for an empty sample.
+	MaxOverMean float64 `json:"max_over_mean"`
+	// Gini is the Gini concentration coefficient in [0, 1): 0 for a
+	// perfectly balanced sample, approaching 1 as the mass concentrates
+	// on a single rank. Defined for non-negative samples; 0 when the
+	// sample sums to 0 or is empty.
+	Gini float64 `json:"gini"`
+}
+
+// NewDist computes the load-imbalance summary of a non-negative sample
+// (one value per rank, in rank order — the order does not affect the
+// result beyond float-summation associativity, which is fixed by using
+// the given order).
+func NewDist(xs []float64) Dist {
+	var d Dist
+	d.N = len(xs)
+	if d.N == 0 {
+		return d
+	}
+	min := xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x > d.Max {
+			d.Max = x
+		}
+		if x < min {
+			min = x
+		}
+	}
+	d.Mean = sum / float64(d.N)
+	d.P50 = Quantile(xs, 0.50)
+	d.P95 = Quantile(xs, 0.95)
+	switch {
+	case d.Max == min:
+		// All samples equal (covers the all-zero case): perfectly
+		// balanced by definition, without trusting float division.
+		d.MaxOverMean = 1
+	case d.Mean <= 0:
+		// Degenerate (possible only with negative inputs); keep finite.
+		d.MaxOverMean = 0
+	default:
+		d.MaxOverMean = d.Max / d.Mean
+	}
+	d.Gini = gini(xs, sum)
+	return d
+}
+
+// gini computes the Gini coefficient via the sorted-sample identity
+// G = (2·Σ i·x(i)) / (n·Σx) − (n+1)/n with 1-based i over ascending x.
+func gini(xs []float64, sum float64) float64 {
+	n := len(xs)
+	if n == 0 || sum <= 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var weighted float64
+	for i, x := range s {
+		weighted += float64(i+1) * x
+	}
+	g := 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+	if g < 0 {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hipmer/internal/xrt"
+)
+
+func TestQuantileExactFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"median-odd", []float64{3, 1, 2}, 0.5, 2},
+		{"median-even", []float64{4, 1, 3, 2}, 0.5, 2.5},
+		{"p0", []float64{5, 1, 9}, 0, 1},
+		{"p100", []float64{5, 1, 9}, 1, 9},
+		{"p25-interp", []float64{0, 10, 20, 30}, 0.25, 7.5},
+		{"p95-five", []float64{10, 20, 30, 40, 50}, 0.95, 48},
+		{"single", []float64{7}, 0.95, 7},
+		{"empty", nil, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.xs, c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistHandComputed(t *testing.T) {
+	// 4 "ranks": one does double work. mean = (10+10+10+20)/4 = 12.5,
+	// max/mean = 1.6. Sorted ascending: 10,10,10,20;
+	// Gini = 2*(1*10+2*10+3*10+4*20)/(4*50) - 5/4 = 280/200 - 1.25 = 0.15.
+	d := NewDist([]float64{10, 10, 20, 10})
+	if d.N != 4 || d.Mean != 12.5 || d.Max != 20 {
+		t.Fatalf("basic fields wrong: %+v", d)
+	}
+	if d.MaxOverMean != 1.6 {
+		t.Errorf("MaxOverMean = %v, want 1.6", d.MaxOverMean)
+	}
+	if math.Abs(d.Gini-0.15) > 1e-12 {
+		t.Errorf("Gini = %v, want 0.15", d.Gini)
+	}
+	if d.P50 != 10 {
+		t.Errorf("P50 = %v, want 10", d.P50)
+	}
+	// p95 over sorted {10,10,10,20}: pos = 0.95*3 = 2.85 → 10*(0.15)+20*0.85 = 18.5
+	if math.Abs(d.P95-18.5) > 1e-12 {
+		t.Errorf("P95 = %v, want 18.5", d.P95)
+	}
+}
+
+func TestDistExtremeConcentration(t *testing.T) {
+	// All mass on one of 10 ranks: max/mean = 10, Gini = (n-1)/n = 0.9.
+	xs := make([]float64, 10)
+	xs[3] = 100
+	d := NewDist(xs)
+	if d.MaxOverMean != 10 {
+		t.Errorf("MaxOverMean = %v, want 10", d.MaxOverMean)
+	}
+	if math.Abs(d.Gini-0.9) > 1e-12 {
+		t.Errorf("Gini = %v, want 0.9", d.Gini)
+	}
+}
+
+// TestDistImbalanceProperty: MaxOverMean ≥ 1 for every non-empty
+// non-negative sample, and equals 1 iff all values are equal.
+func TestDistImbalanceProperty(t *testing.T) {
+	rng := xrt.NewPrng(42)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + int(rng.Uint64()%64)
+		xs := make([]float64, n)
+		allEqual := true
+		for i := range xs {
+			xs[i] = float64(rng.Uint64()%1000) / 8
+			if xs[i] != xs[0] {
+				allEqual = false
+			}
+		}
+		d := NewDist(xs)
+		if d.MaxOverMean < 1 {
+			t.Fatalf("trial %d: MaxOverMean %v < 1 for %v", trial, d.MaxOverMean, xs)
+		}
+		if allEqual && d.MaxOverMean != 1 {
+			t.Fatalf("trial %d: equal sample %v gave MaxOverMean %v != 1", trial, xs, d.MaxOverMean)
+		}
+		if !allEqual && d.MaxOverMean == 1 {
+			t.Fatalf("trial %d: unequal sample %v gave MaxOverMean exactly 1", trial, xs)
+		}
+		if d.Gini < 0 || d.Gini >= 1 {
+			t.Fatalf("trial %d: Gini %v out of [0,1) for %v", trial, d.Gini, xs)
+		}
+		if allEqual && xs[0] > 0 && d.Gini != 0 {
+			t.Fatalf("trial %d: equal sample %v gave Gini %v != 0", trial, xs, d.Gini)
+		}
+	}
+}
+
+// TestDistNaNSafety: empty, single-rank, and all-zero inputs must
+// produce finite, JSON-marshallable values — an empty-stage span
+// (identical snapshots subtracted) hits exactly these shapes.
+func TestDistNaNSafety(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":       nil,
+		"single":      {13},
+		"single-zero": {0},
+		"all-zero":    {0, 0, 0, 0},
+	}
+	for name, xs := range cases {
+		d := NewDist(xs)
+		for field, v := range map[string]float64{
+			"Mean": d.Mean, "P50": d.P50, "P95": d.P95, "Max": d.Max,
+			"MaxOverMean": d.MaxOverMean, "Gini": d.Gini,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v, want finite", name, field, v)
+			}
+		}
+		if _, err := json.Marshal(d); err != nil {
+			t.Errorf("%s: json.Marshal failed: %v", name, err)
+		}
+	}
+	if d := NewDist(nil); d.MaxOverMean != 0 {
+		t.Errorf("empty sample: MaxOverMean = %v, want 0", d.MaxOverMean)
+	}
+	for _, xs := range [][]float64{{5}, {0}, {0, 0}} {
+		if d := NewDist(xs); d.MaxOverMean != 1 {
+			t.Errorf("equal sample %v: MaxOverMean = %v, want 1", xs, d.MaxOverMean)
+		}
+	}
+}

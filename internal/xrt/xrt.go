@@ -205,6 +205,24 @@ func (s CommStats) Lookups() int64 {
 	return s.LocalLookups + s.OnNodeLookups + s.OffNodeLookups
 }
 
+// Msgs returns the total number of messages sent (on-node + off-node).
+func (s CommStats) Msgs() int64 { return s.OnNodeMsgs + s.OffNodeMsgs }
+
+// Bytes returns the total network traffic volume (on-node + off-node).
+func (s CommStats) Bytes() int64 { return s.OnNodeBytes + s.OffNodeBytes }
+
+// BytesPerMsg returns the mean message size, 0 when no messages were
+// sent. Like every derived-rate helper it must stay finite on empty
+// deltas (an empty-stage span subtracts identical snapshots), so a zero
+// denominator yields 0, never NaN or Inf.
+func (s CommStats) BytesPerMsg() float64 {
+	m := s.Msgs()
+	if m == 0 {
+		return 0
+	}
+	return float64(s.Bytes()) / float64(m)
+}
+
 // OffNodeLookupFrac returns the fraction of lookups that crossed nodes.
 func (s CommStats) OffNodeLookupFrac() float64 {
 	t := s.Lookups()
@@ -233,10 +251,21 @@ type Rank struct {
 	team *Team
 
 	clockNs   float64 // owner-written virtual clock
+	workNs    float64 // cumulative charged work; never synchronized (see WorkNs)
 	stats     CommStats
 	foreignNs atomic.Int64 // work charged to this rank by other ranks
 	rng       *Prng
 	pert      *Prng // delay stream; nil unless Config.Perturb is enabled
+}
+
+// advance charges ns of work: the virtual clock moves, and the rank's
+// busy-time accumulator moves with it. Barriers later synchronize the
+// clock to the team maximum but never touch workNs, so per-span workNs
+// deltas expose the per-rank load imbalance that clock synchronization
+// hides.
+func (r *Rank) advance(ns float64) {
+	r.clockNs += ns
+	r.workNs += ns
 }
 
 // Team returns the team this rank belongs to.
@@ -263,10 +292,10 @@ func (r *Rank) Locality(dst int) Locality {
 }
 
 // Charge advances the rank's virtual clock by ns nanoseconds.
-func (r *Rank) Charge(ns float64) { r.clockNs += ns }
+func (r *Rank) Charge(ns float64) { r.advance(ns) }
 
 // ChargeItems charges the generic per-item compute cost for n items.
-func (r *Rank) ChargeItems(n int) { r.clockNs += float64(n) * r.team.cost.ItemNs }
+func (r *Rank) ChargeItems(n int) { r.advance(float64(n) * r.team.cost.ItemNs) }
 
 // ChargeForeign charges ns of work to another rank (e.g. the owner of a
 // hash-table shard processing items this rank sent it). Safe to call from
@@ -282,17 +311,17 @@ func (r *Rank) ChargeLookup(dst int, bytes int) {
 	switch r.Locality(dst) {
 	case Local:
 		r.stats.LocalLookups++
-		r.clockNs += c.LocalOpNs
+		r.advance(c.LocalOpNs)
 	case OnNode:
 		r.stats.OnNodeLookups++
 		r.stats.OnNodeMsgs++
 		r.stats.OnNodeBytes += int64(bytes)
-		r.clockNs += c.OnNodeMsgNs + float64(bytes)*c.OnNodeByteNs
+		r.advance(c.OnNodeMsgNs + float64(bytes)*c.OnNodeByteNs)
 	default:
 		r.stats.OffNodeLookups++
 		r.stats.OffNodeMsgs++
 		r.stats.OffNodeBytes += int64(bytes)
-		r.clockNs += c.OffNodeMsgNs + float64(bytes)*c.OffNodeByteNs
+		r.advance(c.OffNodeMsgNs + float64(bytes)*c.OffNodeByteNs)
 	}
 }
 
@@ -301,7 +330,7 @@ func (r *Rank) ChargeLookup(dst int, bytes int) {
 // (the operation never leaves the rank).
 func (r *Rank) ChargeCacheHit() {
 	r.stats.CacheHits++
-	r.clockNs += r.team.cost.LocalOpNs
+	r.advance(r.team.cost.LocalOpNs)
 }
 
 // CountCacheMiss records that a charged remote lookup also filled a
@@ -318,16 +347,16 @@ func (r *Rank) ChargeStoreBatch(dst, n, bytes int) {
 	switch r.Locality(dst) {
 	case Local:
 		r.stats.LocalStores += int64(n)
-		r.clockNs += float64(n) * c.LocalOpNs
+		r.advance(float64(n) * c.LocalOpNs)
 	case OnNode:
 		r.stats.OnNodeMsgs++
 		r.stats.OnNodeBytes += int64(bytes)
-		r.clockNs += c.OnNodeMsgNs + float64(bytes)*c.OnNodeByteNs
+		r.advance(c.OnNodeMsgNs + float64(bytes)*c.OnNodeByteNs)
 		r.ChargeForeign(dst, float64(n)*c.LocalOpNs)
 	default:
 		r.stats.OffNodeMsgs++
 		r.stats.OffNodeBytes += int64(bytes)
-		r.clockNs += c.OffNodeMsgNs + float64(bytes)*c.OffNodeByteNs
+		r.advance(c.OffNodeMsgNs + float64(bytes)*c.OffNodeByteNs)
 		r.ChargeForeign(dst, float64(n)*c.LocalOpNs)
 	}
 }
@@ -343,7 +372,7 @@ func (r *Rank) ChargeIORead(bytes int64) {
 		bw = agg
 	}
 	r.stats.IOBytes += bytes
-	r.clockNs += c.IOLatencyNs + float64(bytes)/bw*1e9
+	r.advance(c.IOLatencyNs + float64(bytes)/bw*1e9)
 }
 
 // ClockNs returns the rank's current virtual clock including foreign
@@ -353,8 +382,16 @@ func (r *Rank) ClockNs() float64 {
 }
 
 func (r *Rank) foldForeign() {
-	r.clockNs += float64(r.foreignNs.Swap(0))
+	r.advance(float64(r.foreignNs.Swap(0)))
 }
+
+// WorkNs returns the rank's cumulative charged work, including foreign
+// charges folded in at synchronization points. Unlike ClockNs it is never
+// raised by barrier synchronization, so deltas of WorkNs across a span
+// measure the rank's own busy time — the per-rank quantity load-imbalance
+// statistics are computed from. Only safe to read from the owning
+// goroutine or between phases.
+func (r *Rank) WorkNs() float64 { return r.workNs }
 
 // Team is a fixed set of SPMD ranks with collective operations.
 type Team struct {
@@ -370,6 +407,10 @@ type Team struct {
 	sAny   []any
 
 	walkSeq atomic.Int64 // global unique id source (traversal walks etc.)
+
+	// span bookkeeping (see span.go); orchestrator-goroutine only
+	spans []*SpanRecord
+	open  []*openSpan
 }
 
 // NewTeam creates a team. The team may execute multiple Run phases; rank
@@ -485,6 +526,10 @@ func (t *Team) AggStats() CommStats {
 
 // RankStats returns a copy of one rank's statistics.
 func (t *Team) RankStats(id int) CommStats { return t.ranks[id].stats }
+
+// RankWorkNs returns one rank's cumulative charged work (see
+// Rank.WorkNs). Only safe between phases.
+func (t *Team) RankWorkNs(id int) float64 { return t.ranks[id].workNs }
 
 // Barrier blocks until every rank has arrived, then synchronizes all
 // virtual clocks to the maximum, as a real barrier would. Under an
