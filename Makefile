@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify
+.PHONY: all build vet test race bench verify ckpt
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 # claim/abort traversal, and the perturbation-seed assembly sweep), and a
 # short fuzz smoke over both record parsers. `make test` / `make race`
 # remain the exhaustive versions.
-verify: build vet
+verify: build vet ckpt
 	$(GO) test -short ./...
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
@@ -32,6 +32,16 @@ verify: build vet
 	$(GO) test -short -race -run 'Conservation|Metamorphic' ./internal/metrics/
 	$(GO) test -fuzz FuzzParse -fuzztime 3s -run '^$$' ./internal/fastq/
 	$(GO) test -fuzz FuzzParse -fuzztime 3s -run '^$$' ./internal/fasta/
+
+# Checkpoint/restart correctness: the checkpoint store's round-trip and
+# corruption tests, a fuzz smoke over the manifest/segment parsers, the
+# fault-injection runtime tests, and the crash-resume sweep (injected
+# rank crash -> resume -> bit-identical assembly on human+wheat).
+ckpt:
+	$(GO) test -short ./internal/ckpt/
+	$(GO) test -fuzz FuzzManifest -fuzztime 3s -run '^$$' ./internal/ckpt/
+	$(GO) test -short -run 'Fault' ./internal/xrt/
+	$(GO) test -short -run 'Checkpoint|CrashThenResume|CrashResume' ./internal/pipeline/ ./internal/expt/
 
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths.

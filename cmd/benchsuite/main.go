@@ -29,6 +29,7 @@ func main() {
 	compare := flag.Bool("compare", false, "§5.6: competing assemblers")
 	ablations := flag.Bool("ablations", false, "design-choice ablations: Bloom memory, aggregating stores, oracle sizing")
 	verifyF := flag.Bool("verify", false, "metamorphic verification: rank-count invariance, schedule perturbation, assembly oracle")
+	faultResume := flag.Bool("fault-resume", false, "crash-resume sweep: injected rank crashes, checkpoint resume, bit-identical assembly")
 	metricsOut := flag.String("metrics-out", "", "write per-stage metrics reports (human+wheat, JSON array) to this path")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
@@ -60,7 +61,7 @@ func main() {
 	}
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
-		*metricsOut != "") {
+		*faultResume || *metricsOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,6 +116,16 @@ func main() {
 		for _, r := range rows {
 			if !(r.RanksInvariant && r.BitIdentical && r.OracleOK) {
 				fmt.Fprintf(os.Stderr, "benchsuite: verification failed on %s\n", r.Dataset)
+				os.Exit(1)
+			}
+		}
+	}
+	if *all || *faultResume {
+		rows, text := expt.CrashResumeSweep(sc)
+		fmt.Println(text)
+		for _, r := range rows {
+			if !r.Gate() {
+				fmt.Fprintf(os.Stderr, "benchsuite: crash-resume sweep failed on %s\n", r.Dataset)
 				os.Exit(1)
 			}
 		}

@@ -4,10 +4,17 @@
 // Usage:
 //
 //	hipmer -reads lib1.fastq[,insert] [-reads lib2.fastq,4200] \
-//	       -k 31 -ranks 48 -out assembly.fasta [-contigs-only] [-ref ref.fasta]
+//	       -k 31 -ranks 48 -out assembly.fasta [-contigs-only] [-ref ref.fasta] \
+//	       [-ckpt-dir run1.ckpt [-resume]] [-fault-seed N -fail-stage scaffolding]
+//
+// With -ckpt-dir each stage's output is checkpointed as it completes;
+// rerunning with -resume skips completed stages after validating the
+// checkpoint's config/input fingerprint. -fault-seed/-fail-stage inject a
+// deterministic rank crash (exit code 3) for crash-resume testing.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +23,7 @@ import (
 
 	"hipmer"
 	"hipmer/internal/fasta"
+	"hipmer/internal/pipeline"
 )
 
 type libFlags []hipmer.Library
@@ -51,10 +59,29 @@ func main() {
 	doVerify := flag.Bool("verify", false, "run the assembly oracle (with -ref: also misassembly and gap checks); exit nonzero on failure")
 	perturbSeed := flag.Int64("perturb-seed", 0, "schedule-perturbation seed (0 = off); output must not depend on it")
 	metricsOut := flag.String("metrics-out", "", "write the per-stage metrics report (JSON) to this path")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint each stage's output into this directory")
+	resume := flag.Bool("resume", false, "skip stages already checkpointed in -ckpt-dir (fingerprint-validated)")
+	faultSeed := flag.Int64("fault-seed", 0, "deterministic fault-injection seed (requires -fail-stage)")
+	failStage := flag.String("fail-stage", "", "pipeline stage the injected rank crash fires in (requires -fault-seed)")
 	flag.Parse()
 
-	if len(libs) == 0 {
-		fmt.Fprintln(os.Stderr, "hipmer: at least one -reads library is required")
+	opts := hipmer.Options{
+		K:                   *k,
+		MinCount:            *minCount,
+		Ranks:               *ranks,
+		RanksPerNode:        *ranksPerNode,
+		Seed:                *seed,
+		ContigsOnly:         *contigsOnly,
+		DisableHeavyHitters: *noHH,
+		Verify:              *doVerify,
+		PerturbSeed:         *perturbSeed,
+		CkptDir:             *ckptDir,
+		Resume:              *resume,
+		FaultSeed:           *faultSeed,
+		FailStage:           *failStage,
+	}
+	if err := validateOptions(opts, len(libs)); err != nil {
+		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,23 +97,23 @@ func main() {
 			ref = append(ref, r.Seq...)
 		}
 	}
-
-	opts := hipmer.Options{
-		K:                   *k,
-		MinCount:            *minCount,
-		Ranks:               *ranks,
-		RanksPerNode:        *ranksPerNode,
-		Seed:                *seed,
-		ContigsOnly:         *contigsOnly,
-		DisableHeavyHitters: *noHH,
-		Verify:              *doVerify,
-		PerturbSeed:         *perturbSeed,
-	}
 	if *doVerify {
 		opts.VerifyRef = ref
 	}
+
 	res, err := hipmer.Assemble(libs, opts)
 	if err != nil {
+		var sf *pipeline.StageFailedError
+		if errors.As(err, &sf) {
+			// Injected crash: distinct exit code so harnesses can tell a
+			// planned failure (resumable via -resume) from a real error.
+			fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "hipmer: stages before %q are checkpointed in %s; rerun with -resume\n",
+					sf.Stage, *ckptDir)
+			}
+			os.Exit(3)
+		}
 		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+
+	"hipmer"
+)
+
+// validateOptions rejects invalid or conflicting CLI configurations
+// before any work starts. Kept separate from flag parsing so tests can
+// drive it directly; main exits 2 (usage error) on any returned error.
+func validateOptions(opt hipmer.Options, nLibs int) error {
+	if nLibs == 0 {
+		return fmt.Errorf("at least one -reads library is required")
+	}
+	if opt.K < 1 || opt.K > 64 {
+		return fmt.Errorf("-k must be in 1..64, got %d", opt.K)
+	}
+	if opt.K%2 == 0 {
+		return fmt.Errorf("-k must be odd, got %d", opt.K)
+	}
+	if opt.MinCount < 1 {
+		return fmt.Errorf("-min-count must be >= 1, got %d", opt.MinCount)
+	}
+	if opt.Ranks < 1 {
+		return fmt.Errorf("-ranks must be >= 1, got %d", opt.Ranks)
+	}
+	if opt.RanksPerNode < 1 {
+		return fmt.Errorf("-ranks-per-node must be >= 1, got %d", opt.RanksPerNode)
+	}
+	if opt.ScaffoldRounds < 0 {
+		return fmt.Errorf("-rounds must be >= 0, got %d", opt.ScaffoldRounds)
+	}
+	if opt.Resume && opt.CkptDir == "" {
+		return fmt.Errorf("-resume requires -ckpt-dir")
+	}
+	if (opt.FaultSeed != 0) != (opt.FailStage != "") {
+		return fmt.Errorf("-fault-seed and -fail-stage must be given together")
+	}
+	if opt.FailStage != "" && opt.ContigsOnly {
+		switch opt.FailStage {
+		case "io", "kmer-analysis", "contig-generation":
+		default:
+			return fmt.Errorf("-fail-stage %q does not exist with -contigs-only", opt.FailStage)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hipmer"
+)
+
+func TestValidateOptions(t *testing.T) {
+	ok := hipmer.Options{K: 31, MinCount: 2, Ranks: 16, RanksPerNode: 8}
+	cases := []struct {
+		name    string
+		mutate  func(o *hipmer.Options)
+		nLibs   int
+		wantErr string
+	}{
+		{"valid", func(o *hipmer.Options) {}, 1, ""},
+		{"no-libs", func(o *hipmer.Options) {}, 0, "-reads"},
+		{"k-zero", func(o *hipmer.Options) { o.K = 0 }, 1, "1..64"},
+		{"k-too-big", func(o *hipmer.Options) { o.K = 65 }, 1, "1..64"},
+		{"k-even", func(o *hipmer.Options) { o.K = 32 }, 1, "odd"},
+		{"min-count", func(o *hipmer.Options) { o.MinCount = 0 }, 1, "-min-count"},
+		{"ranks", func(o *hipmer.Options) { o.Ranks = 0 }, 1, "-ranks"},
+		{"ranks-per-node", func(o *hipmer.Options) { o.RanksPerNode = -1 }, 1, "-ranks-per-node"},
+		{"rounds", func(o *hipmer.Options) { o.ScaffoldRounds = -2 }, 1, "-rounds"},
+		{"resume-without-dir", func(o *hipmer.Options) { o.Resume = true }, 1, "-ckpt-dir"},
+		{"resume-with-dir", func(o *hipmer.Options) { o.Resume = true; o.CkptDir = "d" }, 1, ""},
+		{"fault-seed-alone", func(o *hipmer.Options) { o.FaultSeed = 9 }, 1, "together"},
+		{"fail-stage-alone", func(o *hipmer.Options) { o.FailStage = "scaffolding" }, 1, "together"},
+		{"fault-pair", func(o *hipmer.Options) { o.FaultSeed = 9; o.FailStage = "scaffolding" }, 1, ""},
+		{"fault-stage-gone-in-contigs-only", func(o *hipmer.Options) {
+			o.ContigsOnly = true
+			o.FaultSeed = 9
+			o.FailStage = "scaffolding"
+		}, 1, "-contigs-only"},
+		{"fault-stage-ok-in-contigs-only", func(o *hipmer.Options) {
+			o.ContigsOnly = true
+			o.FaultSeed = 9
+			o.FailStage = "kmer-analysis"
+		}, 1, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := ok
+			c.mutate(&o)
+			err := validateOptions(o, c.nLibs)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -99,6 +99,21 @@ type Options struct {
 	// flushes). The assembly must be bit-identical for every seed; tests
 	// sweep seeds to prove output is schedule-independent.
 	PerturbSeed int64
+	// CkptDir, when set, checkpoints every stage's output into that
+	// directory as it completes (see internal/ckpt for the format).
+	CkptDir string
+	// Resume skips stages already recorded complete in CkptDir's
+	// manifest and rehydrates their outputs instead of recomputing.
+	// Refused when the checkpoint's config/input fingerprint differs
+	// from this run's. Requires CkptDir.
+	Resume bool
+	// FaultSeed, with FailStage, arms deterministic fault injection: one
+	// rank crashes partway through the named stage and Assemble returns
+	// a *pipeline.StageFailedError. Used by the crash-resume harness.
+	FaultSeed int64
+	// FailStage names the pipeline stage the injected crash fires in
+	// (see pipeline.StageNames for legal values).
+	FailStage string
 }
 
 // StageTime reports one pipeline stage's simulated (virtual) duration —
@@ -203,6 +218,9 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		DisableHeavyHitters: opt.DisableHeavyHitters,
 		ContigsOnly:         opt.ContigsOnly,
 		ScaffoldRounds:      opt.ScaffoldRounds,
+		CkptDir:             opt.CkptDir,
+		Resume:              opt.Resume,
+		Fault:               xrt.FaultPlan{Seed: opt.FaultSeed, Stage: opt.FailStage},
 	}
 	if opt.Verify {
 		cfg.Verify = &verify.Options{Ref: opt.VerifyRef}

@@ -1,0 +1,374 @@
+// Package ckpt implements the stage-boundary checkpoint store: each
+// pipeline stage's output is serialized into a versioned, checksummed
+// segment file under a run directory, and a JSON manifest records the
+// schema version, a config/input fingerprint, and a per-stage content
+// hash. Resuming validates the fingerprint before trusting anything —
+// a checkpoint taken under different inputs or knobs refuses to load —
+// and every segment read re-verifies its CRC and content hash, so a
+// truncated or bit-flipped file fails loudly instead of resuming into a
+// silently wrong assembly.
+//
+// On-disk layout of a run directory:
+//
+//	MANIFEST.json      schema, fingerprint, per-stage entries
+//	<stage>.seg        one segment per completed stage
+//
+// Segment format (little-endian):
+//
+//	magic   [8]byte  "HMCKSEG1" (format version in the last byte)
+//	nameLen u32      stage-name length
+//	name    []byte   stage name (ties the file to its manifest entry)
+//	payLen  u64      payload length
+//	payload []byte   stage codec output (see stage_codecs.go)
+//	crc     u32      IEEE CRC-32 of everything above
+//
+// Both the manifest and segments are written to a temp file and renamed
+// into place, so a crash mid-checkpoint leaves the previous consistent
+// state: the manifest only ever references fully written segments.
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Schema is the manifest schema version; a manifest carrying any other
+// value refuses to load.
+const Schema = "hipmer-ckpt/v1"
+
+// ManifestName is the manifest's filename inside a run directory.
+const ManifestName = "MANIFEST.json"
+
+const segMagic = "HMCKSEG1"
+
+// Typed sentinel errors; all loading failures wrap one of these.
+var (
+	// ErrSchemaMismatch: the manifest was written by an incompatible
+	// checkpoint format version.
+	ErrSchemaMismatch = errors.New("ckpt: manifest schema mismatch")
+	// ErrFingerprintMismatch: the checkpoint belongs to a different
+	// config/input combination and must not seed a resume.
+	ErrFingerprintMismatch = errors.New("ckpt: config/input fingerprint mismatch")
+	// ErrCorruptSegment: a segment file failed its structural, CRC, or
+	// content-hash validation.
+	ErrCorruptSegment = errors.New("ckpt: corrupt segment")
+	// ErrBadManifest: the manifest is unparsable or internally invalid.
+	ErrBadManifest = errors.New("ckpt: bad manifest")
+	// ErrNoStage: the requested stage has no manifest entry.
+	ErrNoStage = errors.New("ckpt: stage not checkpointed")
+)
+
+// StageEntry is one completed stage's manifest record.
+type StageEntry struct {
+	Name string `json:"name"`
+	// File is the segment's basename inside the run directory.
+	File string `json:"file"`
+	// Seq is the stage's position in pipeline order, informational.
+	Seq int `json:"seq"`
+	// Bytes is the full segment file size (header + payload + CRC).
+	Bytes int64 `json:"bytes"`
+	// CRC32 is the IEEE checksum stored at the segment tail, duplicated
+	// here so manifest and segment must agree.
+	CRC32 uint32 `json:"crc32"`
+	// ContentHash is the FNV-64a of the payload alone: the deterministic
+	// identity of the stage output, independent of framing.
+	ContentHash string `json:"content_hash"`
+}
+
+// Manifest is the run directory's index.
+type Manifest struct {
+	Schema      string       `json:"schema"`
+	Fingerprint string       `json:"fingerprint"`
+	Stages      []StageEntry `json:"stages"`
+}
+
+// ParseManifest decodes and validates manifest bytes: schema match,
+// unique stage names, and segment filenames that cannot escape the run
+// directory. It never panics on any input (fuzzed).
+func ParseManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrSchemaMismatch, m.Schema, Schema)
+	}
+	seen := make(map[string]bool, len(m.Stages))
+	for _, e := range m.Stages {
+		if e.Name == "" {
+			return nil, fmt.Errorf("%w: entry with empty stage name", ErrBadManifest)
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("%w: duplicate stage %q", ErrBadManifest, e.Name)
+		}
+		seen[e.Name] = true
+		if e.File == "" || e.File != filepath.Base(e.File) ||
+			strings.HasPrefix(e.File, ".") {
+			return nil, fmt.Errorf("%w: stage %q has invalid segment file %q",
+				ErrBadManifest, e.Name, e.File)
+		}
+	}
+	return &m, nil
+}
+
+// Store is an open checkpoint run directory.
+type Store struct {
+	dir string
+	man Manifest
+}
+
+// Create starts a fresh run directory for the given fingerprint, creating
+// it if needed and truncating any previous manifest (stale segments are
+// simply unreferenced; WriteStage replaces them by name).
+func Create(dir, fingerprint string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating run directory: %w", err)
+	}
+	s := &Store{dir: dir, man: Manifest{Schema: Schema, Fingerprint: fingerprint}}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Resume opens an existing run directory, refusing schema or fingerprint
+// mismatches: a checkpoint from different inputs or a different config
+// must never seed a resume.
+func Resume(dir, fingerprint string) (*Store, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading manifest: %w", err)
+	}
+	m, err := ParseManifest(b)
+	if err != nil {
+		return nil, err
+	}
+	if m.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("%w: checkpoint %q, run %q",
+			ErrFingerprintMismatch, m.Fingerprint, fingerprint)
+	}
+	return &Store{dir: dir, man: *m}, nil
+}
+
+// Dir returns the run directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Stages returns the manifest's stage entries in checkpoint order.
+func (s *Store) Stages() []StageEntry { return s.man.Stages }
+
+// Entry returns the named stage's manifest entry, nil when absent.
+func (s *Store) Entry(stage string) *StageEntry {
+	for i := range s.man.Stages {
+		if s.man.Stages[i].Name == stage {
+			return &s.man.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Completed reports whether the named stage has a checkpoint.
+func (s *Store) Completed(stage string) bool { return s.Entry(stage) != nil }
+
+// WriteStage persists one stage's payload: segment written atomically,
+// then the manifest updated (replace-by-name or append) and rewritten
+// atomically. Returns the resulting entry.
+func (s *Store) WriteStage(stage string, payload []byte) (StageEntry, error) {
+	seg := encodeSegment(stage, payload)
+	file := segFileName(stage)
+	if err := atomicWrite(filepath.Join(s.dir, file), seg); err != nil {
+		return StageEntry{}, fmt.Errorf("ckpt: writing segment for %s: %w", stage, err)
+	}
+	entry := StageEntry{
+		Name:        stage,
+		File:        file,
+		Seq:         len(s.man.Stages),
+		Bytes:       int64(len(seg)),
+		CRC32:       crc32.ChecksumIEEE(seg[:len(seg)-4]),
+		ContentHash: hashHex(payload),
+	}
+	replaced := false
+	for i := range s.man.Stages {
+		if s.man.Stages[i].Name == stage {
+			entry.Seq = s.man.Stages[i].Seq
+			s.man.Stages[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.man.Stages = append(s.man.Stages, entry)
+	}
+	if err := s.writeManifest(); err != nil {
+		return StageEntry{}, err
+	}
+	return entry, nil
+}
+
+// ReadStage loads and fully validates one stage's payload: file size,
+// framing, stored CRC, and the manifest's content hash must all agree.
+func (s *Store) ReadStage(stage string) ([]byte, error) {
+	e := s.Entry(stage)
+	if e == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoStage, stage)
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading segment for %s: %w", stage, err)
+	}
+	if int64(len(b)) != e.Bytes {
+		return nil, fmt.Errorf("%w: %s: %d bytes on disk, manifest says %d",
+			ErrCorruptSegment, stage, len(b), e.Bytes)
+	}
+	payload, err := ParseSegment(b, stage)
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(b[:len(b)-4]); got != e.CRC32 {
+		return nil, fmt.Errorf("%w: %s: CRC %08x, manifest says %08x",
+			ErrCorruptSegment, stage, got, e.CRC32)
+	}
+	if got := hashHex(payload); got != e.ContentHash {
+		return nil, fmt.Errorf("%w: %s: content hash %s, manifest says %s",
+			ErrCorruptSegment, stage, got, e.ContentHash)
+	}
+	return payload, nil
+}
+
+// encodeSegment frames a payload (see the package comment for layout).
+func encodeSegment(stage string, payload []byte) []byte {
+	n := len(segMagic) + 4 + len(stage) + 8 + len(payload) + 4
+	b := make([]byte, 0, n)
+	b = append(b, segMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(stage)))
+	b = append(b, stage...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// ParseSegment validates a segment's framing and embedded CRC and
+// returns the payload. wantStage "" skips the name check. Never panics
+// on any input (fuzzed).
+func ParseSegment(b []byte, wantStage string) ([]byte, error) {
+	if len(b) < len(segMagic)+4+8+4 {
+		return nil, fmt.Errorf("%w: short segment (%d bytes)", ErrCorruptSegment, len(b))
+	}
+	if string(b[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptSegment)
+	}
+	if got := crc32.ChecksumIEEE(b[:len(b)-4]); got != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptSegment)
+	}
+	off := len(segMagic)
+	nameLen := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if nameLen < 0 || nameLen > len(b)-off-8-4 {
+		return nil, fmt.Errorf("%w: bad name length", ErrCorruptSegment)
+	}
+	name := string(b[off : off+nameLen])
+	off += nameLen
+	if wantStage != "" && name != wantStage {
+		return nil, fmt.Errorf("%w: segment names stage %q, want %q",
+			ErrCorruptSegment, name, wantStage)
+	}
+	payLen := binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	if payLen != uint64(len(b)-off-4) {
+		return nil, fmt.Errorf("%w: bad payload length", ErrCorruptSegment)
+	}
+	return b[off : len(b)-4], nil
+}
+
+// segFileName maps a stage name to its segment basename; stage names are
+// pipeline identifiers ([a-z0-9-]), already filesystem-safe.
+func segFileName(stage string) string { return stage + ".seg" }
+
+// atomicWrite writes bytes via temp file + rename, so readers never see
+// a partially written file.
+func atomicWrite(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (s *Store) writeManifest() error {
+	b, err := json.MarshalIndent(&s.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ckpt: encoding manifest: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(s.dir, ManifestName), append(b, '\n')); err != nil {
+		return fmt.Errorf("ckpt: writing manifest: %w", err)
+	}
+	return nil
+}
+
+func hashHex(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Fingerprint accumulates the config knobs and input bytes that shape
+// stage outputs into a 64-bit FNV-1a digest. Length-prefixing every
+// field keeps adjacent fields from aliasing.
+type Fingerprint struct {
+	h uint64
+}
+
+// NewFingerprint starts an empty digest.
+func NewFingerprint() *Fingerprint {
+	return &Fingerprint{h: 0xcbf29ce484222325} // FNV-64a offset basis
+}
+
+func (f *Fingerprint) add(b byte) {
+	f.h ^= uint64(b)
+	f.h *= 0x100000001b3 // FNV-64a prime
+}
+
+// Int folds a signed integer.
+func (f *Fingerprint) Int(v int64) {
+	for i := 0; i < 8; i++ {
+		f.add(byte(uint64(v) >> (8 * i)))
+	}
+}
+
+// Bool folds a flag.
+func (f *Fingerprint) Bool(v bool) {
+	if v {
+		f.add(1)
+	} else {
+		f.add(0)
+	}
+}
+
+// Bytes folds a length-prefixed byte string.
+func (f *Fingerprint) Bytes(b []byte) {
+	f.Int(int64(len(b)))
+	for _, c := range b {
+		f.add(c)
+	}
+}
+
+// Str folds a length-prefixed string.
+func (f *Fingerprint) Str(s string) {
+	f.Int(int64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.add(s[i])
+	}
+}
+
+// Hex returns the digest as a fixed-width hex string.
+func (f *Fingerprint) Hex() string { return fmt.Sprintf("%016x", f.h) }

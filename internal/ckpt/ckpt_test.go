@@ -1,0 +1,255 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipmer/internal/gapclose"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "fp-abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay1 := []byte("kmer payload bytes")
+	pay2 := []byte{0, 1, 2, 0xff, 0xfe}
+	if _, err := s.WriteStage("kmer-analysis", pay1); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.WriteStage("contig-generation", pay2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Seq != 1 || e2.File != "contig-generation.seg" {
+		t.Fatalf("entry = %+v, want seq 1 file contig-generation.seg", e2)
+	}
+
+	// Re-open as a resume and read everything back.
+	r, err := Resume(dir, "fp-abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed("kmer-analysis") || r.Completed("scaffolding") {
+		t.Fatal("Completed() wrong after resume")
+	}
+	got, err := r.ReadStage("kmer-analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pay1) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if _, err := r.ReadStage("scaffolding"); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("missing stage: err = %v, want ErrNoStage", err)
+	}
+
+	// Replacing a stage keeps its sequence position and updates the hash.
+	old := *s.Entry("kmer-analysis")
+	e, err := s.WriteStage("kmer-analysis", []byte("new content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != old.Seq || e.ContentHash == old.ContentHash {
+		t.Fatalf("replace: entry = %+v, old = %+v", e, old)
+	}
+}
+
+func TestResumeRefusesFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, "fp-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, "fp-2"); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+func TestResumeRefusesSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	man := []byte(`{"schema":"hipmer-ckpt/v999","fingerprint":"fp","stages":[]}`)
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), man, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, "fp"); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestResumeRefusesTruncatedManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteStage("kmer-analysis", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, "fp"); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("err = %v, want ErrBadManifest", err)
+	}
+}
+
+// TestReadStageDetectsCorruption flips a payload bit and truncates the
+// segment file: both must surface ErrCorruptSegment, never a silently
+// wrong payload.
+func TestReadStageDetectsCorruption(t *testing.T) {
+	newStore := func(t *testing.T) (*Store, string) {
+		dir := t.TempDir()
+		s, err := Create(dir, "fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteStage("scaffolding", []byte("scaffold payload")); err != nil {
+			t.Fatal(err)
+		}
+		return s, filepath.Join(dir, "scaffolding.seg")
+	}
+
+	t.Run("bit-flip", func(t *testing.T) {
+		s, seg := newStore(t)
+		b, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x01
+		if err := os.WriteFile(seg, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ReadStage("scaffolding"); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("err = %v, want ErrCorruptSegment", err)
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		s, seg := newStore(t)
+		b, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(seg, b[:len(b)-6], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ReadStage("scaffolding"); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("err = %v, want ErrCorruptSegment", err)
+		}
+	})
+
+	t.Run("wrong-stage-name", func(t *testing.T) {
+		s, seg := newStore(t)
+		// Overwrite with a valid segment framed for a different stage.
+		forged := encodeSegment("gap-closing", []byte("scaffold payload"))
+		if err := os.WriteFile(seg, forged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ReadStage("scaffolding"); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("err = %v, want ErrCorruptSegment", err)
+		}
+	})
+}
+
+func TestParseManifestRejectsTraversalAndDuplicates(t *testing.T) {
+	cases := []string{
+		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"../evil.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"/abs.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":".hidden"}]}`,
+		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"","file":"x.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"x.seg"},{"name":"a","file":"y.seg"}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseManifest([]byte(c)); !errors.Is(err, ErrBadManifest) {
+			t.Errorf("ParseManifest(%s): err = %v, want ErrBadManifest", c, err)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Fingerprint {
+		f := NewFingerprint()
+		f.Str("lib1")
+		f.Int(31)
+		f.Bool(true)
+		f.Bytes([]byte("ACGT"))
+		return f
+	}
+	a, b := base().Hex(), base().Hex()
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	variants := []func(f *Fingerprint){
+		func(f *Fingerprint) { f.Int(0) },
+		func(f *Fingerprint) { f.Bool(false) },
+		func(f *Fingerprint) { f.Bytes(nil) },
+		func(f *Fingerprint) { f.Str("") },
+	}
+	for i, v := range variants {
+		f := base()
+		v(f)
+		if f.Hex() == a {
+			t.Errorf("variant %d did not change the fingerprint", i)
+		}
+	}
+	// Length prefixes keep adjacent fields from aliasing.
+	x, y := NewFingerprint(), NewFingerprint()
+	x.Str("ab")
+	x.Str("c")
+	y.Str("a")
+	y.Str("bc")
+	if x.Hex() == y.Hex() {
+		t.Fatal("field boundaries alias")
+	}
+}
+
+// FuzzManifest: no manifest or segment bytes may panic the parsers, and
+// a successful manifest parse must satisfy the documented invariants.
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v1","fingerprint":"00","stages":[]}`))
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"a.seg"}]}`))
+	f.Add([]byte(`{`))
+	f.Add(encodeSegment("kmer-analysis", []byte("payload")))
+	f.Add([]byte(segMagic))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if m, err := ParseManifest(b); err == nil {
+			seen := map[string]bool{}
+			for _, e := range m.Stages {
+				if e.Name == "" || seen[e.Name] || e.File != filepath.Base(e.File) {
+					t.Fatalf("accepted invalid manifest entry %+v", e)
+				}
+				seen[e.Name] = true
+			}
+		}
+		if pay, err := ParseSegment(b, ""); err == nil {
+			// A valid segment must round-trip through its own framing.
+			if _, err := ParseSegment(encodeSegment("s", pay), "s"); err != nil {
+				t.Fatalf("re-encoded valid payload failed to parse: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzGapcloseDecode: the pure (team-free) stage codec must reject any
+// malformed payload with an error, never a panic or runaway allocation.
+func FuzzGapcloseDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeGapcloseStage(&gapclose.Result{
+		Gaps: 3, Closed: 2, ScaffoldSeqs: [][]byte{[]byte("ACGTACGT")},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		res, err := DecodeGapcloseStage(b)
+		if err == nil && res == nil {
+			t.Fatal("nil result with nil error")
+		}
+	})
+}

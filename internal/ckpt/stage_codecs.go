@@ -1,0 +1,441 @@
+// Stage-output codecs: the serializable projection of each pipeline
+// stage's result. Encoders are deterministic (see codec.go); decoders
+// validate exhaustively and rebuild the in-memory form, including DHT
+// rehydration for the k-mer table.
+//
+// What is and is not checkpointed, per stage:
+//
+//   - k-mer analysis: the full count/extension table plus the scalar
+//     outcomes. Entries are sorted by k-mer words before encoding so the
+//     payload is independent of shard iteration order.
+//   - contig generation: the per-rank contig lists exactly as generated
+//     (rank assignment and order preserved — downstream stages partition
+//     work by these lists) plus the outcome counters. The de Bruijn
+//     graph is NOT serialized: no downstream stage reads it, and it
+//     dwarfs the contigs. A rehydrated Result has Graph == nil.
+//   - scaffolding: surviving contigs (per-rank), scaffolds, links,
+//     insert-size estimates, and the per-read alignments gap closing
+//     consumes. The seed index is NOT serialized (gap closing reads the
+//     alignments, never the index); a rehydrated Result has Index == nil.
+//   - gap closing: the final scaffold sequences and closure counters.
+//
+// Phase timing fields (xrt.PhaseStats) are never checkpointed: a resumed
+// run's report covers the work it actually performed.
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"hipmer/internal/aligner"
+	"hipmer/internal/contig"
+	"hipmer/internal/gapclose"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/kmer"
+	"hipmer/internal/scaffold"
+	"hipmer/internal/xrt"
+)
+
+// ---------------------------------------------------------------------
+// k-mer analysis
+
+// EncodeKmerStage serializes a k-mer analysis result. The table must be
+// quiescent (frozen or between phases).
+func EncodeKmerStage(res *kanalysis.Result) []byte {
+	type entry struct {
+		km kmer.Kmer
+		d  kanalysis.KmerData
+	}
+	var entries []entry
+	res.Table.RangeAll(func(k kmer.Kmer, v kanalysis.KmerData) bool {
+		entries = append(entries, entry{k, v})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].km, entries[j].km
+		if a.W[0] != b.W[0] {
+			return a.W[0] < b.W[0]
+		}
+		return a.W[1] < b.W[1]
+	})
+	e := &enc{}
+	e.u64(res.DistinctEstimate)
+	e.i64(int64(res.HeavyHitters))
+	e.i64(res.Kept)
+	e.i64(res.PeakEntries)
+	e.i64(res.TotalKmers)
+	e.u64(uint64(len(entries)))
+	for _, en := range entries {
+		e.u64(en.km.W[0])
+		e.u64(en.km.W[1])
+		e.u32(en.d.Count)
+		for i := 0; i < 4; i++ {
+			e.u32(en.d.LeftCnt[i])
+		}
+		for i := 0; i < 4; i++ {
+			e.u32(en.d.RightCnt[i])
+		}
+		e.u8(en.d.ExtL)
+		e.u8(en.d.ExtR)
+	}
+	return e.b
+}
+
+// kmerEntryBytes is the wire size of one table entry (two words, count,
+// 8 extension counters, two extension codes).
+const kmerEntryBytes = 8 + 8 + 4 + 4*4 + 4*4 + 1 + 1
+
+// DecodeKmerStage rebuilds a k-mer analysis result, rehydrating the
+// distributed table: entries are partitioned by owner, stored through
+// each owner's rank-local fast path in one SPMD phase (pre-sized via
+// ExpectedItems, so no incremental rehashing), and the table is returned
+// frozen — exactly the state a fresh analysis hands downstream.
+func DecodeKmerStage(team *xrt.Team, b []byte, aggBufSize int) (*kanalysis.Result, error) {
+	d := &dec{b: b}
+	res := &kanalysis.Result{}
+	res.DistinctEstimate = d.u64()
+	res.HeavyHitters = int(d.i64())
+	res.Kept = d.i64()
+	res.PeakEntries = d.i64()
+	res.TotalKmers = d.i64()
+	n := d.count(kmerEntryBytes)
+	table := kanalysis.NewTable(team, int64(n), aggBufSize, 0)
+	p := team.Config().Ranks
+	type entry struct {
+		km kmer.Kmer
+		d  kanalysis.KmerData
+	}
+	perOwner := make([][]entry, p)
+	for i := 0; i < n; i++ {
+		var en entry
+		en.km.W[0] = d.u64()
+		en.km.W[1] = d.u64()
+		en.d.Count = d.u32()
+		for j := 0; j < 4; j++ {
+			en.d.LeftCnt[j] = d.u32()
+		}
+		for j := 0; j < 4; j++ {
+			en.d.RightCnt[j] = d.u32()
+		}
+		en.d.ExtL = d.u8()
+		en.d.ExtR = d.u8()
+		if d.err != nil {
+			break
+		}
+		o := table.Owner(en.km)
+		perOwner[o] = append(perOwner[o], en)
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("kmer-analysis payload: %w", err)
+	}
+	team.Run(func(r *xrt.Rank) {
+		for _, en := range perOwner[r.ID] {
+			table.Put(r, en.km, en.d) // owner == r.ID: rank-local fast path
+		}
+		table.Flush(r)
+		r.Barrier()
+		table.Freeze(r)
+	})
+	res.Table = table
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// contig generation
+
+// EncodeContigStage serializes a contig-generation result (minus the de
+// Bruijn graph — see the package comment).
+func EncodeContigStage(res *contig.Result) []byte {
+	e := &enc{}
+	e.i64(res.NumContigs)
+	e.i64(res.UUKmers)
+	e.i64(res.Claimed)
+	e.i64(res.Completed)
+	e.i64(res.Aborted)
+	e.i64(res.Rounds)
+	e.u64(uint64(len(res.Contigs)))
+	for _, cs := range res.Contigs {
+		e.u64(uint64(len(cs)))
+		for _, c := range cs {
+			e.i64(c.ID)
+			e.bytes(c.Seq)
+			e.u8(c.TermL)
+			e.u8(c.TermR)
+			e.u64(c.NbrL.W[0])
+			e.u64(c.NbrL.W[1])
+			e.u64(c.NbrR.W[0])
+			e.u64(c.NbrR.W[1])
+			e.bool(c.HasNbrL)
+			e.bool(c.HasNbrR)
+			e.u64(c.SumCount)
+		}
+	}
+	return e.b
+}
+
+// DecodeContigStage rebuilds a contig-generation result. The checkpoint
+// must come from a run with the same rank count (the fingerprint
+// guarantees this; the decoder re-checks).
+func DecodeContigStage(team *xrt.Team, b []byte) (*contig.Result, error) {
+	d := &dec{b: b}
+	res := &contig.Result{}
+	res.NumContigs = d.i64()
+	res.UUKmers = d.i64()
+	res.Claimed = d.i64()
+	res.Completed = d.i64()
+	res.Aborted = d.i64()
+	res.Rounds = d.i64()
+	ranks := d.count(8)
+	if d.err == nil && ranks != team.Config().Ranks {
+		return nil, fmt.Errorf("contig payload: %d rank partitions, team has %d",
+			ranks, team.Config().Ranks)
+	}
+	res.Contigs = make([][]*contig.Contig, ranks)
+	for r := 0; r < ranks; r++ {
+		n := d.count(8 + 8 + 2 + 32 + 2 + 8)
+		for i := 0; i < n; i++ {
+			c := &contig.Contig{}
+			c.ID = d.i64()
+			c.Seq = d.bytes()
+			c.TermL = d.u8()
+			c.TermR = d.u8()
+			c.NbrL.W[0] = d.u64()
+			c.NbrL.W[1] = d.u64()
+			c.NbrR.W[0] = d.u64()
+			c.NbrR.W[1] = d.u64()
+			c.HasNbrL = d.bool()
+			c.HasNbrR = d.bool()
+			c.SumCount = d.u64()
+			if d.err != nil {
+				break
+			}
+			res.Contigs[r] = append(res.Contigs[r], c)
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("contig payload: %w", err)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// scaffolding
+
+// EncodeScaffoldStage serializes a scaffolding result (minus the seed
+// index — see the package comment). Contigs are encoded from the
+// per-rank distribution, which also carries the map's full content.
+func EncodeScaffoldStage(res *scaffold.Result) []byte {
+	e := &enc{}
+	e.u64(uint64(len(res.ContigsByRank)))
+	for _, cs := range res.ContigsByRank {
+		e.u64(uint64(len(cs)))
+		for _, sc := range cs {
+			e.i64(sc.ID)
+			e.bytes(sc.Seq)
+			e.f64(sc.Depth)
+			e.u8(sc.TermL)
+			e.u8(sc.TermR)
+			e.u64(sc.NbrL.W[0])
+			e.u64(sc.NbrL.W[1])
+			e.u64(sc.NbrR.W[0])
+			e.u64(sc.NbrR.W[1])
+			e.bool(sc.HasNbrL)
+			e.bool(sc.HasNbrR)
+			e.u64(uint64(len(sc.Members)))
+			for _, m := range sc.Members {
+				e.i64(m)
+			}
+			e.bool(sc.PoppedOut)
+		}
+	}
+	e.u64(uint64(len(res.Scaffolds)))
+	for _, s := range res.Scaffolds {
+		e.i64(int64(s.ID))
+		e.u64(uint64(len(s.Members)))
+		for _, m := range s.Members {
+			e.i64(m.ContigID)
+			e.bool(m.Flipped)
+			e.i64(int64(m.GapBefore))
+		}
+	}
+	e.u64(uint64(len(res.Links)))
+	for _, l := range res.Links {
+		e.i64(l.A)
+		e.i64(l.B)
+		e.u8(l.EndA)
+		e.u8(l.EndB)
+		e.f64(l.Gap)
+		e.f64(l.GapSD)
+		e.i64(int64(l.Splints))
+		e.i64(int64(l.Spans))
+	}
+	e.u64(uint64(len(res.InsertMean)))
+	for i := range res.InsertMean {
+		e.f64(res.InsertMean[i])
+		e.f64(res.InsertSD[i])
+	}
+	e.i64(int64(res.Bubbles))
+	e.u64(uint64(len(res.Alignments)))
+	for _, lib := range res.Alignments {
+		e.u64(uint64(len(lib)))
+		for _, rank := range lib {
+			e.u64(uint64(len(rank)))
+			for _, alns := range rank {
+				e.u64(uint64(len(alns)))
+				for _, a := range alns {
+					e.i64(a.ContigID)
+					e.i64(int64(a.RStart))
+					e.i64(int64(a.REnd))
+					e.i64(int64(a.CStart))
+					e.i64(int64(a.CEnd))
+					e.bool(a.Flipped)
+					e.i64(int64(a.Matches))
+					e.i64(int64(a.Score))
+					e.i64(int64(a.ReadLen))
+					e.i64(int64(a.ContigLen))
+				}
+			}
+		}
+	}
+	return e.b
+}
+
+// DecodeScaffoldStage rebuilds a scaffolding result: the contig map is
+// the union of the per-rank lists, exactly as scaffolding itself leaves
+// it.
+func DecodeScaffoldStage(team *xrt.Team, b []byte) (*scaffold.Result, error) {
+	d := &dec{b: b}
+	res := &scaffold.Result{Contigs: make(map[int64]*scaffold.SContig)}
+	ranks := d.count(8)
+	if d.err == nil && ranks != team.Config().Ranks {
+		return nil, fmt.Errorf("scaffold payload: %d rank partitions, team has %d",
+			ranks, team.Config().Ranks)
+	}
+	res.ContigsByRank = make([][]*scaffold.SContig, ranks)
+	for r := 0; r < ranks; r++ {
+		n := d.count(8 + 8 + 8 + 2 + 32 + 2 + 8 + 1)
+		for i := 0; i < n; i++ {
+			sc := &scaffold.SContig{}
+			sc.ID = d.i64()
+			sc.Seq = d.bytes()
+			sc.Depth = d.f64()
+			sc.TermL = d.u8()
+			sc.TermR = d.u8()
+			sc.NbrL.W[0] = d.u64()
+			sc.NbrL.W[1] = d.u64()
+			sc.NbrR.W[0] = d.u64()
+			sc.NbrR.W[1] = d.u64()
+			sc.HasNbrL = d.bool()
+			sc.HasNbrR = d.bool()
+			nm := d.count(8)
+			for j := 0; j < nm; j++ {
+				sc.Members = append(sc.Members, d.i64())
+			}
+			sc.PoppedOut = d.bool()
+			if d.err != nil {
+				break
+			}
+			res.ContigsByRank[r] = append(res.ContigsByRank[r], sc)
+			res.Contigs[sc.ID] = sc
+		}
+	}
+	ns := d.count(8 + 8)
+	for i := 0; i < ns; i++ {
+		s := &scaffold.Scaffold{ID: int(d.i64())}
+		nm := d.count(8 + 1 + 8)
+		for j := 0; j < nm; j++ {
+			s.Members = append(s.Members, scaffold.Member{
+				ContigID:  d.i64(),
+				Flipped:   d.bool(),
+				GapBefore: int(d.i64()),
+			})
+		}
+		if d.err != nil {
+			break
+		}
+		res.Scaffolds = append(res.Scaffolds, s)
+	}
+	nl := d.count(8 + 8 + 2 + 8 + 8 + 8 + 8)
+	for i := 0; i < nl; i++ {
+		res.Links = append(res.Links, scaffold.Link{
+			A: d.i64(), B: d.i64(),
+			EndA: d.u8(), EndB: d.u8(),
+			Gap: d.f64(), GapSD: d.f64(),
+			Splints: int(d.i64()), Spans: int(d.i64()),
+		})
+	}
+	ni := d.count(8 + 8)
+	for i := 0; i < ni; i++ {
+		res.InsertMean = append(res.InsertMean, d.f64())
+		res.InsertSD = append(res.InsertSD, d.f64())
+	}
+	res.Bubbles = int(d.i64())
+	nlib := d.count(8)
+	for li := 0; li < nlib; li++ {
+		nr := d.count(8)
+		lib := make([][][]aligner.Alignment, nr)
+		for r := 0; r < nr; r++ {
+			nread := d.count(8)
+			lib[r] = make([][]aligner.Alignment, nread)
+			for ri := 0; ri < nread; ri++ {
+				na := d.count(8*9 + 1)
+				for ai := 0; ai < na; ai++ {
+					lib[r][ri] = append(lib[r][ri], aligner.Alignment{
+						ContigID: d.i64(),
+						RStart:   int(d.i64()), REnd: int(d.i64()),
+						CStart: int(d.i64()), CEnd: int(d.i64()),
+						Flipped: d.bool(),
+						Matches: int(d.i64()), Score: int(d.i64()),
+						ReadLen: int(d.i64()), ContigLen: int(d.i64()),
+					})
+				}
+			}
+		}
+		res.Alignments = append(res.Alignments, lib)
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("scaffold payload: %w", err)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// gap closing
+
+// EncodeGapcloseStage serializes a gap-closing result.
+func EncodeGapcloseStage(res *gapclose.Result) []byte {
+	e := &enc{}
+	e.i64(int64(res.Gaps))
+	e.i64(int64(res.Closed))
+	e.i64(int64(res.BySpanning))
+	e.i64(int64(res.ByWalking))
+	e.i64(int64(res.ByPatching))
+	e.i64(int64(res.Verified))
+	e.i64(int64(res.Checked))
+	e.u64(uint64(len(res.ScaffoldSeqs)))
+	for _, s := range res.ScaffoldSeqs {
+		e.bytes(s)
+	}
+	return e.b
+}
+
+// DecodeGapcloseStage rebuilds a gap-closing result.
+func DecodeGapcloseStage(b []byte) (*gapclose.Result, error) {
+	d := &dec{b: b}
+	res := &gapclose.Result{}
+	res.Gaps = int(d.i64())
+	res.Closed = int(d.i64())
+	res.BySpanning = int(d.i64())
+	res.ByWalking = int(d.i64())
+	res.ByPatching = int(d.i64())
+	res.Verified = int(d.i64())
+	res.Checked = int(d.i64())
+	n := d.count(8)
+	for i := 0; i < n; i++ {
+		res.ScaffoldSeqs = append(res.ScaffoldSeqs, d.bytes())
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("gap-closing payload: %w", err)
+	}
+	return res, nil
+}

@@ -240,7 +240,17 @@ func (t *Table[K, V]) Frozen() bool { return t.frozen.Load() }
 // map as immutable; subsequent Gets are served lock-free and, when
 // Options.CacheSlots is set, through a per-rank software cache for remote
 // keys. Any Put/Mutate/Delete/local rewrite on the frozen table panics.
+//
+// Freeze is idempotent: freezing an already-frozen table is a documented
+// no-op (one barrier, caches and contents untouched), so code handed a
+// table of unknown phase — checkpoint rehydration in particular — can
+// freeze unconditionally. The phase discipline (no concurrent
+// Freeze/Thaw) means every rank branches the same way.
 func (t *Table[K, V]) Freeze(r *xrt.Rank) {
+	if t.frozen.Load() {
+		r.Barrier()
+		return
+	}
 	t.Flush(r)
 	r.Barrier()
 	if r.ID == 0 {
@@ -254,8 +264,13 @@ func (t *Table[K, V]) Freeze(r *xrt.Rank) {
 }
 
 // Thaw is collective: it discards the per-rank caches (their coherence is
-// only guaranteed while frozen) and restores writability.
+// only guaranteed while frozen) and restores writability. Like Freeze it
+// is idempotent: thawing a writable table is a no-op.
 func (t *Table[K, V]) Thaw(r *xrt.Rank) {
+	if !t.frozen.Load() {
+		r.Barrier()
+		return
+	}
 	r.Barrier()
 	t.caches[r.ID] = nil
 	r.Barrier()
@@ -269,6 +284,9 @@ func (t *Table[K, V]) Thaw(r *xrt.Rank) {
 // phases (a single goroutine): buffers of all ranks must already be
 // drained (it panics otherwise, since flushing would need rank handles).
 func (t *Table[K, V]) FreezeSerial() {
+	if t.frozen.Load() {
+		return // idempotent, like Freeze
+	}
 	for i := range t.locals {
 		for _, buf := range t.locals[i].bufs {
 			if len(buf) > 0 {
@@ -285,7 +303,11 @@ func (t *Table[K, V]) FreezeSerial() {
 }
 
 // ThawSerial restores writability from orchestration code between phases.
+// Idempotent, like Thaw.
 func (t *Table[K, V]) ThawSerial() {
+	if !t.frozen.Load() {
+		return
+	}
 	for i := range t.caches {
 		t.caches[i] = nil
 	}
@@ -404,11 +426,11 @@ func (t *Table[K, V]) Mutate(r *xrt.Rank, k K, fn func(v V, exists bool) (V, boo
 	r.ChargeLookup(dst, t.opt.ItemBytes)
 	st := t.stripeFor(dst, h)
 	st.mu.Lock()
+	defer st.mu.Unlock() // fn may panic (injected crash); never strand the stripe
 	old, exists := st.m[k]
 	if nv, store := fn(old, exists); store {
 		st.m[k] = nv
 	}
-	st.mu.Unlock()
 }
 
 // MutateRetry is Mutate without the communication charge. It exists for
@@ -422,14 +444,18 @@ func (t *Table[K, V]) Mutate(r *xrt.Rank, k K, fn func(v V, exists bool) (V, boo
 // is observable in the traversal's abort/retry counters instead.
 func (t *Table[K, V]) MutateRetry(r *xrt.Rank, k K, fn func(v V, exists bool) (V, bool)) {
 	t.assertMutable("MutateRetry")
+	// The retry loop is the one place a rank can wait on another rank
+	// without charging or barriering, so it must observe injected crashes
+	// explicitly or it would spin forever on a dead victim's claim.
+	r.CheckFault()
 	h := t.opt.Hash(k)
 	st := t.stripeFor(t.ownerOf(h), h)
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	old, exists := st.m[k]
 	if nv, store := fn(old, exists); store {
 		st.m[k] = nv
 	}
-	st.mu.Unlock()
 }
 
 // Delete removes k at its owner (charged as a lookup-class operation).
@@ -450,22 +476,29 @@ func (t *Table[K, V]) Delete(r *xrt.Rank, k K) {
 // (the paper's "each processor iterates over its local buckets").
 func (t *Table[K, V]) LocalRange(r *xrt.Rank, fn func(k K, v V) bool) {
 	frozen := t.frozen.Load()
+	opNs := t.team.Cost().LocalOpNs
 	for i := range t.shards[r.ID].stripes {
 		st := &t.shards[r.ID].stripes[i]
-		if !frozen {
-			st.mu.Lock()
-		}
-		for k, v := range st.m {
-			r.Charge(t.team.Cost().LocalOpNs)
-			if !fn(k, v) {
-				if !frozen {
-					st.mu.Unlock()
-				}
-				return
+		// The per-item charges land after each stripe's critical section:
+		// a charge can panic (injected crash), and panicking while holding
+		// a stripe lock would strand every surviving rank behind it.
+		visited, stopped := 0, false
+		func() {
+			if !frozen {
+				st.mu.Lock()
+				defer st.mu.Unlock()
 			}
-		}
-		if !frozen {
-			st.mu.Unlock()
+			for k, v := range st.m {
+				visited++
+				if !fn(k, v) {
+					stopped = true
+					return
+				}
+			}
+		}()
+		r.Charge(float64(visited) * opNs)
+		if stopped {
+			return
 		}
 	}
 }
@@ -473,14 +506,19 @@ func (t *Table[K, V]) LocalRange(r *xrt.Rank, fn func(k K, v V) bool) {
 // LocalUpdate rewrites every value of the calling rank's shard in place.
 func (t *Table[K, V]) LocalUpdate(r *xrt.Rank, fn func(k K, v V) V) {
 	t.assertMutable("LocalUpdate")
+	opNs := t.team.Cost().LocalOpNs
 	for i := range t.shards[r.ID].stripes {
 		st := &t.shards[r.ID].stripes[i]
-		st.mu.Lock()
-		for k, v := range st.m {
-			r.Charge(t.team.Cost().LocalOpNs)
-			st.m[k] = fn(k, v)
-		}
-		st.mu.Unlock()
+		visited := 0
+		func() {
+			st.mu.Lock()
+			defer st.mu.Unlock() // see LocalRange: never charge under the lock
+			for k, v := range st.m {
+				visited++
+				st.m[k] = fn(k, v)
+			}
+		}()
+		r.Charge(float64(visited) * opNs)
 	}
 }
 
@@ -488,18 +526,23 @@ func (t *Table[K, V]) LocalUpdate(r *xrt.Rank, fn func(k K, v V) V) {
 // fn returns the new value and whether to keep the entry.
 func (t *Table[K, V]) LocalFilter(r *xrt.Rank, fn func(k K, v V) (V, bool)) {
 	t.assertMutable("LocalFilter")
+	opNs := t.team.Cost().LocalOpNs
 	for i := range t.shards[r.ID].stripes {
 		st := &t.shards[r.ID].stripes[i]
-		st.mu.Lock()
-		for k, v := range st.m {
-			r.Charge(t.team.Cost().LocalOpNs)
-			if nv, keep := fn(k, v); keep {
-				st.m[k] = nv
-			} else {
-				delete(st.m, k)
+		visited := 0
+		func() {
+			st.mu.Lock()
+			defer st.mu.Unlock() // see LocalRange: never charge under the lock
+			for k, v := range st.m {
+				visited++
+				if nv, keep := fn(k, v); keep {
+					st.m[k] = nv
+				} else {
+					delete(st.m, k)
+				}
 			}
-		}
-		st.mu.Unlock()
+		}()
+		r.Charge(float64(visited) * opNs)
 	}
 }
 

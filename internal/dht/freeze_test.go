@@ -323,3 +323,40 @@ func BenchmarkDHTGetFrozenCached(b *testing.B) {
 	s := team.AggStats()
 	b.ReportMetric(s.CacheHitRate(), "hitRate")
 }
+
+// TestFreezeThawIdempotent: Freeze on a frozen table and Thaw on a
+// thawed table are documented no-ops — every rank must still converge
+// (the collective variants keep their barrier), the table's contents
+// must be untouched, and the serial variants must return immediately.
+// Regression test: double-freeze used to flush into frozen shards.
+func TestFreezeThawIdempotent(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 4, RanksPerNode: 2})
+	tab := New[uint64, int64](team, intOpts(), sumMerge)
+	team.Run(func(r *xrt.Rank) {
+		tab.Put(r, uint64(r.ID), int64(r.ID)+1)
+		tab.Freeze(r)
+		tab.Freeze(r) // idempotent: no flush, no re-publish, still collective
+		if v, ok := tab.Get(r, uint64(r.ID)); !ok || v != int64(r.ID)+1 {
+			t.Errorf("rank %d: Get after double Freeze = (%d,%v)", r.ID, v, ok)
+		}
+		tab.Thaw(r)
+		tab.Thaw(r) // idempotent on a thawed table
+		tab.Put(r, uint64(100+r.ID), 9)
+		tab.Flush(r)
+		r.Barrier()
+		if v, ok := tab.Get(r, uint64(100+(r.ID+1)%4)); !ok || v != 9 {
+			t.Errorf("rank %d: writes after double Thaw = (%d,%v)", r.ID, v, ok)
+		}
+	})
+
+	// Serial variants: same contract from the orchestrator goroutine.
+	tab.FreezeSerial()
+	tab.FreezeSerial()
+	tab.ThawSerial()
+	tab.ThawSerial()
+	team.Run(func(r *xrt.Rank) {
+		if v, ok := tab.Get(r, uint64(r.ID)); !ok || v != int64(r.ID)+1 {
+			t.Errorf("rank %d: Get after serial freeze/thaw pairs = (%d,%v)", r.ID, v, ok)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"hipmer/internal/pipeline"
+	"hipmer/internal/verify"
+	"hipmer/internal/xrt"
+)
+
+// CrashResumeRow is one dataset's crash-resume verdict: for each fault
+// seed the pipeline runs with checkpointing and an injected rank crash,
+// then resumes from the checkpoint in a fresh team; the resumed assembly
+// must be bit-identical (as a canonical sequence multiset) to an
+// uninterrupted run, and the resumed run's metrics report must carry
+// checkpoint-load spans with nonzero bytes.
+type CrashResumeRow struct {
+	Dataset    string
+	FaultSeeds []int64
+	// Crashes counts seeds whose injected fault actually fired (a seed
+	// whose charge countdown outlives the stage completes normally; its
+	// resume then skips every stage, which is also checked).
+	Crashes int
+	// Resumed counts resumes that completed without error.
+	Resumed int
+	// BitIdentical: every resumed assembly matched the uninterrupted one.
+	BitIdentical bool
+	// LoadedBytes: every resume's report had checkpoint-load spans with a
+	// nonzero ckpt_bytes counter.
+	LoadedBytes bool
+	// Err is the first error encountered, for the report.
+	Err string
+}
+
+// crashResumeSeeds and crashResumeStage parameterize the sweep: four
+// fault seeds injected into scaffolding, the most charge-dense stage, so
+// every countdown (1..256 charge events) lands mid-stage.
+var crashResumeSeeds = []int64{11, 12, 13, 14}
+
+const (
+	crashResumeStage = "scaffolding"
+	crashResumeRanks = 16
+)
+
+// CrashResumeSweep proves checkpoint/restart crash consistency on the
+// simulated human and wheat datasets: interrupted-and-resumed assemblies
+// must be indistinguishable from uninterrupted ones for every fault seed.
+func CrashResumeSweep(sc Scale) ([]CrashResumeRow, string) {
+	type dataset struct {
+		name string
+		libs []pipeline.Library
+	}
+	_, hLibs := pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+	_, wLibs := pipeline.SimulatedWheat(sc.Seed+3, sc.WheatLen, sc.WheatCov)
+	datasets := []dataset{{"human", hLibs}, {"wheat", wLibs}}
+
+	baseCfg := pipeline.Config{K: sc.K, MinCount: 3}
+	var rows []CrashResumeRow
+	for _, ds := range datasets {
+		row := CrashResumeRow{
+			Dataset: ds.name, FaultSeeds: crashResumeSeeds,
+			BitIdentical: true, LoadedBytes: true,
+		}
+		base, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(crashResumeRanks)), ds.libs, baseCfg)
+		if err != nil {
+			row.BitIdentical, row.LoadedBytes = false, false
+			row.Err = err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		baseSet := verify.CanonicalSet(base.FinalSeqs)
+
+		for _, seed := range crashResumeSeeds {
+			dir, err := os.MkdirTemp("", "hipmer-crashresume-*")
+			if err != nil {
+				row.Err = err.Error()
+				break
+			}
+			cfg := baseCfg
+			cfg.CkptDir = dir
+			cfg.Fault = xrt.FaultPlan{Seed: seed, Stage: crashResumeStage}
+			_, err = pipeline.Run(xrt.NewTeam(sc.teamCfg(crashResumeRanks)), ds.libs, cfg)
+			var sf *pipeline.StageFailedError
+			switch {
+			case errors.As(err, &sf):
+				row.Crashes++
+			case err != nil:
+				// A real (non-injected) failure breaks the sweep.
+				row.BitIdentical = false
+				row.Err = err.Error()
+				os.RemoveAll(dir)
+				continue
+			}
+
+			rcfg := baseCfg
+			rcfg.CkptDir = dir
+			rcfg.Resume = true
+			res, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(crashResumeRanks)), ds.libs, rcfg)
+			if err != nil {
+				row.BitIdentical = false
+				if row.Err == "" {
+					row.Err = err.Error()
+				}
+				os.RemoveAll(dir)
+				continue
+			}
+			row.Resumed++
+			if !verify.EqualSets(baseSet, verify.CanonicalSet(res.FinalSeqs)) {
+				row.BitIdentical = false
+			}
+			if !hasCkptLoadBytes(res) {
+				row.LoadedBytes = false
+			}
+			os.RemoveAll(dir)
+		}
+		rows = append(rows, row)
+	}
+
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Dataset,
+			fmt.Sprintf("%v@%s", r.FaultSeeds, crashResumeStage),
+			fmt.Sprintf("%d/%d", r.Crashes, len(r.FaultSeeds)),
+			fmt.Sprintf("%d/%d", r.Resumed, len(r.FaultSeeds)),
+			pass(r.BitIdentical),
+			pass(r.LoadedBytes),
+		})
+	}
+	text := "Crash-resume sweep (injected rank crash -> checkpoint resume -> bit-identical assembly)\n" +
+		fmtTable([]string{"dataset", "faults", "crashed", "resumed", "assembly", "ckpt bytes"}, tab)
+	for _, r := range rows {
+		if r.Err != "" {
+			text += fmt.Sprintf("  %s: %s\n", r.Dataset, r.Err)
+		}
+	}
+	return rows, text
+}
+
+// Gate reports whether the row satisfies the sweep's acceptance bar:
+// every resume succeeded bit-identically with real checkpoint-load
+// traffic, and at least one seed produced an actual mid-stage crash.
+func (r CrashResumeRow) Gate() bool {
+	return r.BitIdentical && r.LoadedBytes &&
+		r.Resumed == len(r.FaultSeeds) && r.Crashes > 0
+}
+
+// hasCkptLoadBytes reports whether the run's metrics carry at least one
+// checkpoint-load span with a nonzero ckpt_bytes counter.
+func hasCkptLoadBytes(res *pipeline.Result) bool {
+	if res.Metrics == nil {
+		return false
+	}
+	for _, st := range res.Metrics.Stages {
+		if strings.HasPrefix(st.Name, "checkpoint-load:") && st.Counters["ckpt_bytes"] > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashResumeSweepAllGreen runs the crash-resume harness at tiny
+// scale. Deliberately NOT gated behind -short: this is the CI
+// fault-resume job's workload, sized to stay fast.
+func TestCrashResumeSweepAllGreen(t *testing.T) {
+	rows, text := CrashResumeSweep(tinyScale())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s: sweep error: %s", r.Dataset, r.Err)
+		}
+		if r.Crashes == 0 {
+			t.Errorf("%s: no fault seed produced a crash in %d tries", r.Dataset, len(r.FaultSeeds))
+		}
+		if r.Resumed != len(r.FaultSeeds) {
+			t.Errorf("%s: only %d/%d resumes completed", r.Dataset, r.Resumed, len(r.FaultSeeds))
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s: resumed assembly differs from uninterrupted run", r.Dataset)
+		}
+		if !r.LoadedBytes {
+			t.Errorf("%s: a resume reported no checkpoint-load bytes", r.Dataset)
+		}
+		if !r.Gate() {
+			t.Errorf("%s: gate failed: %+v", r.Dataset, r)
+		}
+	}
+	if !strings.Contains(text, "human") || !strings.Contains(text, "wheat") {
+		t.Fatalf("report missing datasets:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}

@@ -110,6 +110,27 @@ func (d KmerData) IsUU() bool {
 	return kmer.IsBaseExt(d.ExtL) && kmer.IsBaseExt(d.ExtR)
 }
 
+// NewTable constructs the stage's k-mer count table: the canonical hash
+// seed, wire size, and placement every consumer of the table assumes.
+// Exported so checkpoint rehydration builds a table that places, charges,
+// and caches identically to a freshly analyzed one. expectedItems
+// pre-sizes the stripe maps (0 = no pre-sizing); cacheSlots follows
+// Options.CacheSlots conventions (0 = default 4096, negative = off).
+func NewTable(team *xrt.Team, expectedItems int64, aggBufSize, cacheSlots int) *dht.Table[kmer.Kmer, KmerData] {
+	if cacheSlots == 0 {
+		cacheSlots = 4096
+	} else if cacheSlots < 0 {
+		cacheSlots = 0
+	}
+	return dht.New[kmer.Kmer, KmerData](team, dht.Options[kmer.Kmer]{
+		Hash:          func(km kmer.Kmer) uint64 { return km.Hash(0xc0ffee) },
+		ItemBytes:     16 + 10,
+		AggBufSize:    aggBufSize,
+		ExpectedItems: expectedItems,
+		CacheSlots:    cacheSlots,
+	}, nil)
+}
+
 // Result carries the outputs of k-mer analysis.
 type Result struct {
 	// Table maps canonical k-mer → KmerData for every k-mer with
@@ -256,13 +277,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	// then never rehashes incrementally. The estimate counts every
 	// distinct k-mer including single-occurrence errors the Bloom screen
 	// rejects, so it is a safe upper bound on the final entry count.
-	table := dht.New[kmer.Kmer, KmerData](team, dht.Options[kmer.Kmer]{
-		Hash:          func(km kmer.Kmer) uint64 { return km.Hash(0xc0ffee) },
-		ItemBytes:     16 + 10,
-		AggBufSize:    opt.AggBufSize,
-		ExpectedItems: int64(res.DistinctEstimate),
-		CacheSlots:    opt.CacheSlots,
-	}, nil)
+	table := NewTable(team, int64(res.DistinctEstimate), opt.AggBufSize, opt.CacheSlots)
 	res.Table = table
 
 	// --- per-(owner, stripe) Bloom filters -----------------------------

@@ -85,6 +85,7 @@ type Comm struct {
 	OnNodeBytes    int64 `json:"on_node_bytes"`
 	OffNodeBytes   int64 `json:"off_node_bytes"`
 	IOBytes        int64 `json:"io_bytes"`
+	IOWriteBytes   int64 `json:"io_write_bytes"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 
@@ -104,6 +105,7 @@ func commFrom(s xrt.CommStats) Comm {
 		OnNodeBytes:    s.OnNodeBytes,
 		OffNodeBytes:   s.OffNodeBytes,
 		IOBytes:        s.IOBytes,
+		IOWriteBytes:   s.IOWriteBytes,
 		CacheHits:      s.CacheHits,
 		CacheMisses:    s.CacheMisses,
 

@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"hipmer/internal/ckpt"
+	"hipmer/internal/genome"
+	"hipmer/internal/metrics"
+	"hipmer/internal/verify"
+	"hipmer/internal/xrt"
+)
+
+// smallLibs builds a small deterministic dataset for checkpoint tests.
+func smallLibs(seed int64) []Library {
+	rng := xrt.NewPrng(seed)
+	g := genome.Random(rng, 12000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 25,
+		Lib:      genome.Library{Name: "ck", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+		Err:      genome.DefaultErrorModel(),
+	})
+	return []Library{{Name: "ck", Records: recs, InsertHint: 300}}
+}
+
+func ckTeam() *xrt.Team {
+	return xrt.NewTeam(xrt.Config{Ranks: 4, RanksPerNode: 2, Seed: 11})
+}
+
+// TestCheckpointResumeSkipsStages runs once with checkpointing, then
+// resumes in a fresh team: every checkpointable stage must be skipped
+// (rehydrated), and the final assembly must be bit-identical as a
+// canonical multiset.
+func TestCheckpointResumeSkipsStages(t *testing.T) {
+	libs := smallLibs(21)
+	cfg := Config{K: 21, MinCount: 2, CkptDir: t.TempDir()}
+
+	base, err := Run(ckTeam(), libs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	res, err := Run(ckTeam(), libs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.EqualSets(verify.CanonicalSet(base.FinalSeqs), verify.CanonicalSet(res.FinalSeqs)) {
+		t.Fatal("resumed assembly differs from original")
+	}
+	// Skipped stages produce checkpoint-load spans (with bytes) instead
+	// of stage timings.
+	if ti := res.Timing("scaffolding"); ti.Name != "" {
+		t.Fatal("scaffolding recomputed on full resume")
+	}
+	assertLoadSpan(t, res.Metrics, "checkpoint-load:kmer-analysis")
+	assertLoadSpan(t, res.Metrics, "checkpoint-load:gap-closing")
+}
+
+func assertLoadSpan(t *testing.T, rep *metrics.Report, path string) {
+	t.Helper()
+	st := rep.Stage(path)
+	if st == nil {
+		t.Fatalf("missing %s span in metrics report", path)
+	}
+	if st.Counters["ckpt_bytes"] <= 0 {
+		t.Fatalf("%s span has no ckpt_bytes counter", path)
+	}
+	if st.Comm.IOBytes <= 0 {
+		t.Fatalf("%s span charged no virtual read I/O", path)
+	}
+}
+
+// TestCrashThenResumeMatchesUninterrupted is the crash-consistency
+// contract end to end: inject a deterministic rank crash mid-stage, see
+// the typed StageFailedError, resume from the checkpoint in a fresh
+// team, and get an assembly bit-identical to the uninterrupted run.
+func TestCrashThenResumeMatchesUninterrupted(t *testing.T) {
+	libs := smallLibs(22)
+	// Fault seeds chosen so the countdown fires inside the stage: the
+	// window is 1..256 charge events, and gap-closing on a near-gapless
+	// toy assembly charges only a handful per rank, so it needs a seed
+	// with a short countdown (seed 7 → 14 charges).
+	faultSeeds := map[string]int64{
+		"contig-generation": 5, "scaffolding": 5, "gap-closing": 7,
+	}
+	for _, stage := range []string{"contig-generation", "scaffolding", "gap-closing"} {
+		t.Run(stage, func(t *testing.T) {
+			seed := faultSeeds[stage]
+			base, err := Run(ckTeam(), libs, Config{K: 21, MinCount: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			_, err = Run(ckTeam(), libs, Config{
+				K: 21, MinCount: 2, CkptDir: dir,
+				Fault: xrt.FaultPlan{Seed: seed, Stage: stage},
+			})
+			var sf *StageFailedError
+			if !errors.As(err, &sf) {
+				t.Fatalf("crashed run: err = %v, want *StageFailedError", err)
+			}
+			if sf.Stage != stage {
+				t.Fatalf("StageFailedError.Stage = %q, want %q", sf.Stage, stage)
+			}
+			var fe *xrt.FaultError
+			if !errors.As(err, &fe) || fe.Seed != seed {
+				t.Fatalf("StageFailedError does not wrap the *xrt.FaultError: %v", err)
+			}
+
+			res, err := Run(ckTeam(), libs, Config{
+				K: 21, MinCount: 2, CkptDir: dir, Resume: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verify.EqualSets(verify.CanonicalSet(base.FinalSeqs),
+				verify.CanonicalSet(res.FinalSeqs)) {
+				t.Fatalf("resume after crash in %s diverged from uninterrupted run", stage)
+			}
+			// The crashed stage itself was not checkpointed, so the resume
+			// recomputes it; everything before it must have been loaded.
+			if res.Timing(stage).Name == "" {
+				t.Fatalf("stage %s was not recomputed after its crash", stage)
+			}
+			if stage != "contig-generation" {
+				assertLoadSpan(t, res.Metrics, "checkpoint-load:contig-generation")
+			}
+		})
+	}
+}
+
+// TestCheckpointSaveSpans: a checkpointing run reports one
+// checkpoint-save span per checkpointable stage, with bytes charged as
+// virtual write I/O.
+func TestCheckpointSaveSpans(t *testing.T) {
+	res, err := Run(ckTeam(), smallLibs(23), Config{K: 21, MinCount: 2, CkptDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"kmer-analysis", "contig-generation", "scaffolding", "gap-closing"} {
+		st := res.Metrics.Stage("checkpoint-save:" + name)
+		if st == nil {
+			t.Fatalf("missing checkpoint-save span for %s", name)
+		}
+		if st.Counters["ckpt_bytes"] <= 0 || st.Comm.IOWriteBytes <= 0 {
+			t.Fatalf("checkpoint-save:%s has no bytes/write charge (counters=%v, io_write=%d)",
+				name, st.Counters, st.Comm.IOWriteBytes)
+		}
+	}
+}
+
+// TestResumeRefusesMismatchedConfig: changing an assembly knob between
+// checkpoint and resume must be refused via the fingerprint.
+func TestResumeRefusesMismatchedConfig(t *testing.T) {
+	libs := smallLibs(24)
+	dir := t.TempDir()
+	if _, err := Run(ckTeam(), libs, Config{K: 21, MinCount: 2, CkptDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(ckTeam(), libs, Config{K: 21, MinCount: 3, CkptDir: dir, Resume: true})
+	if !errors.Is(err, ckpt.ErrFingerprintMismatch) {
+		t.Fatalf("err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+// TestRunConfigValidation: invalid checkpoint/fault configs fail fast.
+func TestRunConfigValidation(t *testing.T) {
+	libs := smallLibs(25)
+	if _, err := Run(ckTeam(), libs, Config{K: 21, Resume: true}); err == nil {
+		t.Fatal("Resume without CkptDir accepted")
+	}
+	_, err := Run(ckTeam(), libs, Config{K: 21,
+		Fault: xrt.FaultPlan{Seed: 1, Stage: "no-such-stage"}})
+	if err == nil {
+		t.Fatal("unknown fault stage accepted")
+	}
+}

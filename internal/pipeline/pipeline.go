@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"hipmer/internal/ckpt"
 	"hipmer/internal/contig"
 	"hipmer/internal/dht"
 	"hipmer/internal/fastq"
@@ -72,6 +73,20 @@ type Config struct {
 	// Result.Verify. The oracle runs outside the simulated machine and
 	// charges no virtual time.
 	Verify *verify.Options
+	// CkptDir, when set, checkpoints each stage's output into that
+	// directory as it completes (segment files + manifest, see
+	// internal/ckpt). Checkpoint I/O is charged as virtual collective
+	// reads/writes and reported as checkpoint-save/-load spans.
+	CkptDir string
+	// Resume skips stages already recorded complete in CkptDir's
+	// manifest, rehydrating their outputs from the checkpoint instead.
+	// The manifest's config/input fingerprint must match this run's;
+	// a mismatched resume is refused. Requires CkptDir.
+	Resume bool
+	// Fault, when enabled, deterministically crashes one rank inside the
+	// named stage (see xrt.FaultPlan); Run then returns a
+	// *StageFailedError. Used by the crash-resume harness.
+	Fault xrt.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -137,95 +152,149 @@ func (r *Result) Timing(name string) StageTiming {
 	return StageTiming{}
 }
 
-// Run executes the pipeline on the given team.
+// Run executes the pipeline on the given team. The stage list comes
+// from buildStages; with cfg.CkptDir set each stage's output is
+// checkpointed as it completes, with cfg.Resume also set the runner
+// consults the manifest and skips (rehydrates) stages already recorded
+// complete, and with cfg.Fault enabled the targeted stage suffers a
+// deterministic injected rank crash and Run returns a *StageFailedError.
 func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{}
-	p := team.Config().Ranks
+	if cfg.Resume && cfg.CkptDir == "" {
+		return nil, fmt.Errorf("pipeline: Resume requires CkptDir")
+	}
+	stages := buildStages(cfg)
+	if cfg.Fault.Enabled() {
+		known := false
+		for _, st := range stages {
+			if st.name == cfg.Fault.Stage {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("pipeline: fault stage %q not in pipeline (stages: %s)",
+				cfg.Fault.Stage, strings.Join(StageNames(cfg), ", "))
+		}
+	}
 
-	// track brackets one top-level stage in an observability span; the
-	// span records per-rank comm and busy-time deltas (internal/metrics
-	// consumes them), and the aggregate feeds the legacy Timings list.
-	track := func(name string, fn func() error) error {
-		team.BeginSpan(name)
-		err := fn()
-		rec := team.EndSpan()
+	env := &stageEnv{team: team, cfg: cfg, libs: libs, res: &Result{}}
+	var store *ckpt.Store
+	for _, st := range stages {
+		if store != nil && cfg.Resume && st.load != nil && store.Completed(st.name) {
+			if err := loadStage(env, store, st); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		armed := cfg.Fault.Enabled() && cfg.Fault.Stage == st.name
+		if armed {
+			team.ArmFault(cfg.Fault)
+		}
+		err := runStage(env, st)
+		if armed {
+			team.DisarmFault()
+		}
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res.Timings = append(res.Timings, StageTiming{
-			Name:    name,
-			Virtual: time.Duration(rec.VirtualNs),
-			Wall:    time.Duration(rec.WallNs),
-			Comm:    rec.AggComm(),
-		})
-		return nil
+		if st.name == "io" && cfg.CkptDir != "" {
+			// The store opens only after io: the fingerprint's domain is
+			// the parsed read content, so io always reruns.
+			fp := runFingerprint(team, cfg, env.readLibs)
+			var serr error
+			if cfg.Resume {
+				store, serr = ckpt.Resume(cfg.CkptDir, fp)
+			} else {
+				store, serr = ckpt.Create(cfg.CkptDir, fp)
+			}
+			if serr != nil {
+				return nil, serr
+			}
+		}
+		if store != nil && st.save != nil {
+			if err := saveStage(env, store, st); err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	// --- stage 0: parallel FASTQ input --------------------------------
-	readLibs := make([]scaffold.ReadLib, len(libs))
-	err := track("io", func() error {
-		for li, lib := range libs {
-			parts := make([][]fastq.Record, p)
-			if strings.HasSuffix(lib.Path, ".seqdb") {
-				fl, err := seqdb.Open(lib.Path)
-				if err != nil {
-					return fmt.Errorf("pipeline: opening %s: %w", lib.Path, err)
-				}
-				var readErr error
-				team.Run(func(r *xrt.Rank) {
-					recs, nBytes, err := fl.ReadPart(p, r.ID)
-					if err != nil {
-						readErr = err
-						return
-					}
-					r.ChargeIORead(nBytes)
-					parts[r.ID] = recs
-				})
-				if readErr != nil {
-					return fmt.Errorf("pipeline: reading %s: %w", lib.Path, readErr)
-				}
-				repairPairs(parts)
-			} else if lib.Path != "" {
-				fl, err := fastq.OpenSplit(lib.Path, p)
-				if err != nil {
-					return fmt.Errorf("pipeline: opening %s: %w", lib.Path, err)
-				}
-				var readErr error
-				team.Run(func(r *xrt.Rank) {
-					recs, err := fl.ReadPart(r.ID)
-					if err != nil {
-						readErr = err
-						return
-					}
-					r.ChargeIORead(fl.PartBytes(r.ID))
-					parts[r.ID] = recs
-				})
-				fl.Close()
-				if readErr != nil {
-					return fmt.Errorf("pipeline: reading %s: %w", lib.Path, readErr)
-				}
-				repairPairs(parts)
-			} else {
-				var bytes int64
-				for _, rec := range lib.Records {
-					bytes += int64(len(rec.ID) + len(rec.Seq) + len(rec.Qual) + 6)
-				}
-				for i := 0; i+1 < len(lib.Records); i += 2 {
-					r := (i / 2) % p
-					parts[r] = append(parts[r], lib.Records[i], lib.Records[i+1])
-				}
-				team.Run(func(r *xrt.Rank) { r.ChargeIORead(bytes / int64(p)) })
-			}
-			readLibs[li] = scaffold.ReadLib{
-				Name: lib.Name, ReadsByRank: parts, InsertHint: lib.InsertHint,
-			}
+	res := env.res
+	if cfg.ContigsOnly {
+		for _, c := range res.Contigs.All() {
+			res.FinalSeqs = append(res.FinalSeqs, c.Seq)
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	res.addTotal()
+	res.Metrics = metrics.FromTeam(team)
+	res.runVerify(cfg, env.merged)
+	return res, nil
+}
+
+// runIO is stage 0: parallel FASTQ/SeqDB input, mate-pair repair across
+// part boundaries, and the merged per-rank read view that feeds k-mer
+// analysis.
+func runIO(env *stageEnv) error {
+	team := env.team
+	p := team.Config().Ranks
+	readLibs := make([]scaffold.ReadLib, len(env.libs))
+	for li, lib := range env.libs {
+		parts := make([][]fastq.Record, p)
+		if strings.HasSuffix(lib.Path, ".seqdb") {
+			fl, err := seqdb.Open(lib.Path)
+			if err != nil {
+				return fmt.Errorf("pipeline: opening %s: %w", lib.Path, err)
+			}
+			var readErr error
+			team.Run(func(r *xrt.Rank) {
+				recs, nBytes, err := fl.ReadPart(p, r.ID)
+				if err != nil {
+					readErr = err
+					return
+				}
+				r.ChargeIORead(nBytes)
+				parts[r.ID] = recs
+			})
+			if readErr != nil {
+				return fmt.Errorf("pipeline: reading %s: %w", lib.Path, readErr)
+			}
+			repairPairs(parts)
+		} else if lib.Path != "" {
+			fl, err := fastq.OpenSplit(lib.Path, p)
+			if err != nil {
+				return fmt.Errorf("pipeline: opening %s: %w", lib.Path, err)
+			}
+			var readErr error
+			team.Run(func(r *xrt.Rank) {
+				recs, err := fl.ReadPart(r.ID)
+				if err != nil {
+					readErr = err
+					return
+				}
+				r.ChargeIORead(fl.PartBytes(r.ID))
+				parts[r.ID] = recs
+			})
+			fl.Close()
+			if readErr != nil {
+				return fmt.Errorf("pipeline: reading %s: %w", lib.Path, readErr)
+			}
+			repairPairs(parts)
+		} else {
+			var bytes int64
+			for _, rec := range lib.Records {
+				bytes += int64(len(rec.ID) + len(rec.Seq) + len(rec.Qual) + 6)
+			}
+			for i := 0; i+1 < len(lib.Records); i += 2 {
+				r := (i / 2) % p
+				parts[r] = append(parts[r], lib.Records[i], lib.Records[i+1])
+			}
+			team.Run(func(r *xrt.Rank) { r.ChargeIORead(bytes / int64(p)) })
+		}
+		readLibs[li] = scaffold.ReadLib{
+			Name: lib.Name, ReadsByRank: parts, InsertHint: lib.InsertHint,
+		}
+	}
+	env.readLibs = readLibs
 
 	// all libraries feed k-mer analysis together
 	merged := make([][]fastq.Record, p)
@@ -234,84 +303,8 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 			merged[r] = append(merged[r], rl.ReadsByRank[r]...)
 		}
 	}
-
-	// --- stage 1: k-mer analysis ---------------------------------------
-	_ = track("kmer-analysis", func() error {
-		res.KAnalysis = kanalysis.Run(team, merged, kanalysis.Options{
-			K:            cfg.K,
-			MinCount:     cfg.MinCount,
-			HeavyHitters: !cfg.DisableHeavyHitters,
-			Theta:        cfg.Theta,
-			HHMinCount:   cfg.HHMinCount,
-			AggBufSize:   cfg.AggBufSize,
-		})
-		return nil
-	})
-
-	// --- stage 2: contig generation ------------------------------------
-	_ = track("contig-generation", func() error {
-		res.Contigs = contig.Run(team, res.KAnalysis.Table, contig.Options{
-			K:          cfg.K,
-			Oracle:     cfg.Oracle,
-			AggBufSize: cfg.AggBufSize,
-		})
-		return nil
-	})
-
-	if cfg.ContigsOnly {
-		for _, c := range res.Contigs.All() {
-			res.FinalSeqs = append(res.FinalSeqs, c.Seq)
-		}
-		res.addTotal()
-		res.Metrics = metrics.FromTeam(team)
-		res.runVerify(cfg, merged)
-		return res, nil
-	}
-
-	// --- stage 3: scaffolding ------------------------------------------
-	_ = track("scaffolding", func() error {
-		sOpt := cfg.Scaffold
-		sOpt.K = cfg.K
-		res.Scaffold = scaffold.Run(team, res.Contigs, res.KAnalysis.Table, readLibs, sOpt)
-		return nil
-	})
-	res.Timings = append(res.Timings, StageTiming{
-		Name:    "merAligner",
-		Virtual: res.Scaffold.AlignPhase.Virtual,
-	})
-
-	// --- stage 4: gap closing ------------------------------------------
-	gcOpt := cfg.Gapclose
-	gcOpt.K = cfg.K
-	gcOpt.KmerTable = res.KAnalysis.Table // frozen: cached closure verification
-	_ = track("gap-closing", func() error {
-		res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, gcOpt)
-		return nil
-	})
-
-	res.FinalSeqs = res.Gapclose.ScaffoldSeqs
-
-	// additional scaffolding rounds (§5.3: wheat uses four)
-	for round := 2; round <= cfg.ScaffoldRounds; round++ {
-		ctgRes := contigResultFromSeqs(team, res.FinalSeqs)
-		sfx := fmt.Sprintf("-round%d", round)
-		_ = track("scaffolding"+sfx, func() error {
-			sOpt := cfg.Scaffold
-			sOpt.K = cfg.K
-			sOpt.DisableBubbles = true // no junction metadata on re-entry
-			res.Scaffold = scaffold.Run(team, ctgRes, res.KAnalysis.Table, readLibs, sOpt)
-			return nil
-		})
-		_ = track("gap-closing"+sfx, func() error {
-			res.Gapclose = gapclose.Run(team, res.Scaffold, readLibs, gcOpt)
-			return nil
-		})
-		res.FinalSeqs = res.Gapclose.ScaffoldSeqs
-	}
-	res.addTotal()
-	res.Metrics = metrics.FromTeam(team)
-	res.runVerify(cfg, merged)
-	return res, nil
+	env.merged = merged
+	return nil
 }
 
 // runVerify runs the assembly oracle when configured. It sees only raw

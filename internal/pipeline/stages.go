@@ -1,0 +1,362 @@
+// Explicit stage registry and checkpoint/restart orchestration. The
+// pipeline is a list of named stages, each with a run function plus
+// optional save/load codecs; the runner walks the list, consults the
+// checkpoint manifest on resume (skipping completed stages and
+// rehydrating their outputs), checkpoints each completed stage, and arms
+// the fault plan when it enters the targeted stage. Stage inputs and
+// outputs flow through a stageEnv, making each stage's dependencies
+// explicit: io fills readLibs/merged, k-mer analysis reads merged,
+// contig generation reads the k-mer table, scaffolding reads contigs +
+// table + readLibs, gap closing reads the scaffold result.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"hipmer/internal/ckpt"
+	"hipmer/internal/contig"
+	"hipmer/internal/fastq"
+	"hipmer/internal/gapclose"
+	"hipmer/internal/kanalysis"
+	"hipmer/internal/scaffold"
+	"hipmer/internal/xrt"
+)
+
+// StageFailedError reports a pipeline stage aborted by an injected rank
+// crash (Config.Fault): the team unwound cleanly, the error names the
+// stage and victim, and — when checkpointing was on — every stage before
+// the failed one remains resumable from Config.CkptDir.
+type StageFailedError struct {
+	// Stage is the pipeline stage that was running when the rank died.
+	Stage string
+	// Rank is the crashed rank.
+	Rank int
+	// Err is the underlying *xrt.FaultError.
+	Err error
+}
+
+func (e *StageFailedError) Error() string {
+	return fmt.Sprintf("pipeline: stage %q failed: rank %d crashed: %v",
+		e.Stage, e.Rank, e.Err)
+}
+
+func (e *StageFailedError) Unwrap() error { return e.Err }
+
+// stageEnv carries the data flowing between stages of one pipeline run.
+type stageEnv struct {
+	team *xrt.Team
+	cfg  Config
+	libs []Library
+	res  *Result
+
+	// io outputs
+	readLibs []scaffold.ReadLib
+	merged   [][]fastq.Record
+
+	// extraTimings are appended to Result.Timings right after the
+	// current stage's own entry (scaffolding's merAligner sub-timing).
+	extraTimings []StageTiming
+}
+
+// stage is one registry entry. save/load are nil for stages that cannot
+// be checkpointed (io: its output is the input fingerprint's domain, so
+// it always reruns).
+type stage struct {
+	name string
+	run  func(env *stageEnv) error
+	save func(env *stageEnv) ([]byte, error)
+	load func(env *stageEnv, payload []byte) error
+}
+
+// buildStages assembles the registry for a config: io, k-mer analysis,
+// contig generation, then (unless ContigsOnly) scaffolding and gap
+// closing, with one extra scaffolding/gap-closing pair per additional
+// ScaffoldRounds round.
+func buildStages(cfg Config) []stage {
+	sts := []stage{
+		{name: "io", run: runIO},
+		{
+			name: "kmer-analysis",
+			run:  runKmerAnalysis,
+			save: func(env *stageEnv) ([]byte, error) {
+				return ckpt.EncodeKmerStage(env.res.KAnalysis), nil
+			},
+			load: func(env *stageEnv, payload []byte) error {
+				ka, err := ckpt.DecodeKmerStage(env.team, payload, env.cfg.AggBufSize)
+				if err != nil {
+					return err
+				}
+				env.res.KAnalysis = ka
+				return nil
+			},
+		},
+		{
+			name: "contig-generation",
+			run:  runContigGeneration,
+			save: func(env *stageEnv) ([]byte, error) {
+				return ckpt.EncodeContigStage(env.res.Contigs), nil
+			},
+			load: func(env *stageEnv, payload []byte) error {
+				// The de Bruijn graph is not checkpointed (nothing
+				// downstream reads it); Result.Graph stays nil on resume.
+				cr, err := ckpt.DecodeContigStage(env.team, payload)
+				if err != nil {
+					return err
+				}
+				env.res.Contigs = cr
+				return nil
+			},
+		},
+	}
+	if cfg.ContigsOnly {
+		return sts
+	}
+	saveScaffold := func(env *stageEnv) ([]byte, error) {
+		return ckpt.EncodeScaffoldStage(env.res.Scaffold), nil
+	}
+	loadScaffold := func(env *stageEnv, payload []byte) error {
+		// The seed index is not checkpointed (gap closing consumes the
+		// alignments, never the index); Result.Index stays nil on resume.
+		sr, err := ckpt.DecodeScaffoldStage(env.team, payload)
+		if err != nil {
+			return err
+		}
+		env.res.Scaffold = sr
+		return nil
+	}
+	saveGapclose := func(env *stageEnv) ([]byte, error) {
+		return ckpt.EncodeGapcloseStage(env.res.Gapclose), nil
+	}
+	loadGapclose := func(env *stageEnv, payload []byte) error {
+		gr, err := ckpt.DecodeGapcloseStage(payload)
+		if err != nil {
+			return err
+		}
+		env.res.Gapclose = gr
+		env.res.FinalSeqs = gr.ScaffoldSeqs
+		return nil
+	}
+	sts = append(sts,
+		stage{name: "scaffolding", run: runScaffolding,
+			save: saveScaffold, load: loadScaffold},
+		stage{name: "gap-closing", run: runGapClosing,
+			save: saveGapclose, load: loadGapclose},
+	)
+	for round := 2; round <= cfg.ScaffoldRounds; round++ {
+		sts = append(sts,
+			stage{
+				name: fmt.Sprintf("scaffolding-round%d", round),
+				run:  runScaffoldingRound,
+				save: saveScaffold, load: loadScaffold,
+			},
+			stage{
+				name: fmt.Sprintf("gap-closing-round%d", round),
+				run:  runGapClosing,
+				save: saveGapclose, load: loadGapclose,
+			},
+		)
+	}
+	return sts
+}
+
+// StageNames returns the pipeline's stage names for a config, in
+// execution order — the legal targets for Config.Fault.Stage.
+func StageNames(cfg Config) []string {
+	sts := buildStages(cfg.withDefaults())
+	names := make([]string, len(sts))
+	for i, st := range sts {
+		names[i] = st.name
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------
+// stage run functions
+
+func runKmerAnalysis(env *stageEnv) error {
+	env.res.KAnalysis = kanalysis.Run(env.team, env.merged, kanalysis.Options{
+		K:            env.cfg.K,
+		MinCount:     env.cfg.MinCount,
+		HeavyHitters: !env.cfg.DisableHeavyHitters,
+		Theta:        env.cfg.Theta,
+		HHMinCount:   env.cfg.HHMinCount,
+		AggBufSize:   env.cfg.AggBufSize,
+	})
+	return nil
+}
+
+func runContigGeneration(env *stageEnv) error {
+	env.res.Contigs = contig.Run(env.team, env.res.KAnalysis.Table, contig.Options{
+		K:          env.cfg.K,
+		Oracle:     env.cfg.Oracle,
+		AggBufSize: env.cfg.AggBufSize,
+	})
+	return nil
+}
+
+func runScaffolding(env *stageEnv) error {
+	sOpt := env.cfg.Scaffold
+	sOpt.K = env.cfg.K
+	env.res.Scaffold = scaffold.Run(env.team, env.res.Contigs,
+		env.res.KAnalysis.Table, env.readLibs, sOpt)
+	env.extraTimings = append(env.extraTimings, StageTiming{
+		Name:    "merAligner",
+		Virtual: env.res.Scaffold.AlignPhase.Virtual,
+	})
+	return nil
+}
+
+// runScaffoldingRound re-enters scaffolding with the previous round's
+// final sequences as the contig set (§5.3: wheat uses four rounds).
+func runScaffoldingRound(env *stageEnv) error {
+	ctgRes := contigResultFromSeqs(env.team, env.res.FinalSeqs)
+	sOpt := env.cfg.Scaffold
+	sOpt.K = env.cfg.K
+	sOpt.DisableBubbles = true // no junction metadata on re-entry
+	env.res.Scaffold = scaffold.Run(env.team, ctgRes,
+		env.res.KAnalysis.Table, env.readLibs, sOpt)
+	return nil
+}
+
+func runGapClosing(env *stageEnv) error {
+	gcOpt := env.cfg.Gapclose
+	gcOpt.K = env.cfg.K
+	gcOpt.KmerTable = env.res.KAnalysis.Table // frozen: cached closure verification
+	env.res.Gapclose = gapclose.Run(env.team, env.res.Scaffold, env.readLibs, gcOpt)
+	env.res.FinalSeqs = env.res.Gapclose.ScaffoldSeqs
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// stage execution, checkpoint save/load, fault recovery
+
+// track brackets a stage in an observability span; the span records
+// per-rank comm and busy-time deltas (internal/metrics consumes them),
+// and the aggregate feeds the legacy Timings list.
+func (env *stageEnv) track(name string, fn func() error) error {
+	env.team.BeginSpan(name)
+	err := fn()
+	rec := env.team.EndSpan()
+	if err != nil {
+		return err
+	}
+	env.res.Timings = append(env.res.Timings, StageTiming{
+		Name:    name,
+		Virtual: time.Duration(rec.VirtualNs),
+		Wall:    time.Duration(rec.WallNs),
+		Comm:    rec.AggComm(),
+	})
+	if len(env.extraTimings) > 0 {
+		env.res.Timings = append(env.res.Timings, env.extraTimings...)
+		env.extraTimings = nil
+	}
+	return nil
+}
+
+// runStage executes one stage under its span, converting an injected
+// rank crash (surfaced by xrt as a *FaultError panic) into a typed
+// StageFailedError after unwinding every span the dead stage left open.
+func runStage(env *stageEnv, st stage) (err error) {
+	depth := env.team.OpenSpans()
+	defer func() {
+		if p := recover(); p != nil {
+			fe, ok := p.(*xrt.FaultError)
+			if !ok {
+				panic(p)
+			}
+			for env.team.OpenSpans() > depth {
+				env.team.EndSpan()
+			}
+			err = &StageFailedError{Stage: st.name, Rank: fe.Rank, Err: fe}
+		}
+	}()
+	return env.track(st.name, func() error { return st.run(env) })
+}
+
+// saveStage checkpoints a completed stage: serialize, write segment +
+// manifest, and charge the virtual write inside a checkpoint-save span
+// (the segment bytes divided evenly across ranks, the same collective-
+// I/O model the reader uses).
+func saveStage(env *stageEnv, store *ckpt.Store, st stage) error {
+	payload, err := st.save(env)
+	if err != nil {
+		return fmt.Errorf("pipeline: checkpointing %s: %w", st.name, err)
+	}
+	entry, err := store.WriteStage(st.name, payload)
+	if err != nil {
+		return fmt.Errorf("pipeline: checkpointing %s: %w", st.name, err)
+	}
+	env.team.BeginSpan("checkpoint-save:" + st.name)
+	env.team.AddCounter("ckpt_bytes", entry.Bytes)
+	share := entry.Bytes/int64(env.team.Config().Ranks) + 1
+	env.team.Run(func(r *xrt.Rank) { r.ChargeIOWrite(share) })
+	env.team.EndSpan()
+	return nil
+}
+
+// loadStage rehydrates a completed stage from its checkpoint inside a
+// checkpoint-load span: the segment bytes are charged as a collective
+// read, and any table rebuilding (k-mer analysis) runs its own SPMD
+// phase under the same span.
+func loadStage(env *stageEnv, store *ckpt.Store, st stage) error {
+	payload, err := store.ReadStage(st.name)
+	if err != nil {
+		return fmt.Errorf("pipeline: resuming %s: %w", st.name, err)
+	}
+	env.team.BeginSpan("checkpoint-load:" + st.name)
+	env.team.AddCounter("ckpt_bytes", int64(len(payload)))
+	share := int64(len(payload))/int64(env.team.Config().Ranks) + 1
+	env.team.Run(func(r *xrt.Rank) { r.ChargeIORead(share) })
+	lerr := st.load(env, payload)
+	env.team.EndSpan()
+	if lerr != nil {
+		return fmt.Errorf("pipeline: resuming %s: %w", st.name, lerr)
+	}
+	return nil
+}
+
+// runFingerprint digests everything that shapes stage outputs: the team
+// geometry and seed, every pipeline knob, and the full read content of
+// every library. Computed after io (reads are the fingerprint's domain,
+// so io always reruns); a resume whose fingerprint differs refuses to
+// load. Perturb and fault seeds are deliberately excluded: they must not
+// change outputs (schedule perturbation) or represent the failure being
+// recovered from (fault injection), so a checkpoint from a crashed run
+// resumes under any of them.
+func runFingerprint(team *xrt.Team, cfg Config, readLibs []scaffold.ReadLib) string {
+	f := ckpt.NewFingerprint()
+	f.Str(ckpt.Schema)
+	tc := team.Config()
+	f.Int(int64(tc.Ranks))
+	f.Int(int64(tc.RanksPerNode))
+	f.Int(tc.Seed)
+	f.Int(int64(cfg.K))
+	f.Int(int64(cfg.MinCount))
+	f.Bool(cfg.DisableHeavyHitters)
+	f.Int(int64(cfg.Theta))
+	f.Int(cfg.HHMinCount)
+	f.Int(int64(cfg.AggBufSize))
+	f.Bool(cfg.ContigsOnly)
+	f.Int(int64(cfg.ScaffoldRounds))
+	f.Bool(cfg.Oracle != nil)
+	f.Int(int64(cfg.Scaffold.MinLinkSupport))
+	f.Int(int64(cfg.Scaffold.MinContigLen))
+	f.Bool(cfg.Scaffold.DisableBubbles)
+	f.Int(int64(cfg.Gapclose.WalkK))
+	f.Int(int64(cfg.Gapclose.MaxWalkK))
+	f.Int(int64(cfg.Gapclose.MinOverlap))
+	for _, rl := range readLibs {
+		f.Str(rl.Name)
+		f.Int(int64(rl.InsertHint))
+		for _, part := range rl.ReadsByRank {
+			f.Int(int64(len(part)))
+			for _, rec := range part {
+				f.Bytes(rec.ID)
+				f.Bytes(rec.Seq)
+				f.Bytes(rec.Qual)
+			}
+		}
+	}
+	return f.Hex()
+}

@@ -1,0 +1,146 @@
+// Deterministic fault injection. A FaultPlan is the failure-side
+// companion of PerturbPlan: where perturbation proves the assembly is
+// schedule-independent, a fault plan proves the pipeline's checkpoint/
+// restart path is crash-consistent. Arming a plan picks one victim rank
+// and a charge-event countdown, both derived from the seed alone, so a
+// given (seed, stage, team size) always crashes the same rank at the same
+// point of the same stage — a crash that reproduces under `go test -run`.
+//
+// Crash mechanics: when the victim's countdown reaches zero inside a
+// charge, the victim marks the team as tripped, poisons the team barrier,
+// and panics with a private sentinel. Survivors notice at their next
+// charge or barrier and panic with the same sentinel; Team.Run recovers
+// the sentinel on each rank goroutine, joins, and re-panics on the
+// orchestrator goroutine with a typed *FaultError that pipeline code can
+// recover and convert into a StageFailedError. The team is dead after a
+// trip: any further Run panics with the same *FaultError.
+package xrt
+
+import "fmt"
+
+// FaultPlan configures deterministic fault injection: at most one rank
+// crash per run, injected while the named pipeline stage is armed.
+type FaultPlan struct {
+	// Seed selects the victim rank and the crash point; 0 disables the
+	// plan entirely.
+	Seed int64
+	// Stage names the pipeline stage during which the crash fires. The
+	// runtime does not interpret it beyond reporting; the pipeline arms
+	// the plan when it enters the matching stage.
+	Stage string
+}
+
+// Enabled reports whether the plan injects anything.
+func (p FaultPlan) Enabled() bool { return p.Seed != 0 && p.Stage != "" }
+
+// Victim returns the rank the plan crashes in a team of the given size.
+func (p FaultPlan) Victim(ranks int) int {
+	return int(Splitmix64(uint64(p.Seed)^0xfa017c4a5) % uint64(ranks))
+}
+
+// AfterCharges returns how many charge events the victim executes inside
+// the armed stage before crashing. The range is kept small (1..256) so
+// the crash lands early in any stage of any realistic dataset.
+func (p FaultPlan) AfterCharges() int64 {
+	return int64(1 + Splitmix64(uint64(p.Seed)*0x9e3779b97f4a7c15+0xfa017)%256)
+}
+
+// faultCrash is the sentinel a crashing rank panics with. It never
+// escapes the package: rank goroutines recover it, and the orchestrator
+// re-panics with *FaultError.
+type faultCrash struct{}
+
+// recoverFaultCrash swallows the crash sentinel and re-panics anything
+// else (a genuine bug must still crash the process).
+func recoverFaultCrash() {
+	if p := recover(); p != nil {
+		if _, ok := p.(faultCrash); !ok {
+			panic(p)
+		}
+	}
+}
+
+// FaultError is the typed failure surfaced (as an orchestrator-goroutine
+// panic from Team.Run) after an injected crash unwound the team.
+type FaultError struct {
+	// Stage is the armed plan's stage name.
+	Stage string
+	// Rank is the victim.
+	Rank int
+	// Seed is the plan seed, for reproduction.
+	Seed int64
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("xrt: injected fault: rank %d crashed in stage %q (fault seed %d)",
+		e.Rank, e.Stage, e.Seed)
+}
+
+// ArmFault arms the plan for the next Run phases: the victim's countdown
+// starts and every rank begins checking for a trip. Must be called
+// between phases from the orchestrating goroutine; a disabled plan is a
+// no-op.
+func (t *Team) ArmFault(plan FaultPlan) {
+	if !plan.Enabled() {
+		return
+	}
+	v := plan.Victim(t.cfg.Ranks)
+	t.faultPlan = plan
+	t.faultVictim = v
+	t.faultOn = true
+	t.ranks[v].faultCD = plan.AfterCharges()
+}
+
+// DisarmFault cancels an armed plan that has not tripped (the stage
+// outlived the countdown window without the victim reaching it, or the
+// pipeline moved past the armed stage). A tripped fault stays fatal.
+func (t *Team) DisarmFault() {
+	if t.faultTripped.Load() {
+		return
+	}
+	t.faultOn = false
+	for _, r := range t.ranks {
+		r.faultCD = 0
+	}
+}
+
+// FaultFired reports whether the armed fault has tripped.
+func (t *Team) FaultFired() bool { return t.faultTripped.Load() }
+
+func (t *Team) faultError() *FaultError {
+	return &FaultError{
+		Stage: t.faultPlan.Stage,
+		Rank:  t.faultVictim,
+		Seed:  t.faultPlan.Seed,
+	}
+}
+
+// faultPoint runs inside every charge while a fault is armed: the victim
+// counts down and crashes at zero; every other rank crashes as soon as it
+// observes the trip, so survivors unwind at their next charge instead of
+// waiting on a barrier the victim will never reach.
+func (r *Rank) faultPoint() {
+	t := r.team
+	if r.faultCD > 0 {
+		r.faultCD--
+		if r.faultCD == 0 {
+			t.faultTripped.Store(true)
+			t.bar.poison()
+			panic(faultCrash{})
+		}
+		return
+	}
+	if t.faultTripped.Load() {
+		panic(faultCrash{})
+	}
+}
+
+// CheckFault lets uncharged spin loops (e.g. dht.MutateRetry waiting for
+// another rank to release a claim) observe an injected crash: without a
+// charge or a barrier in the loop body a survivor could otherwise spin
+// forever waiting on a dead victim. No-op unless a fault is armed.
+func (r *Rank) CheckFault() {
+	if r.team.faultOn && r.team.faultTripped.Load() {
+		panic(faultCrash{})
+	}
+}

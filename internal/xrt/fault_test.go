@@ -1,0 +1,129 @@
+package xrt
+
+import (
+	"testing"
+)
+
+// runWithFaultRecover runs fn and returns the *FaultError it panics
+// with (nil if it returns normally).
+func runWithFaultRecover(t *testing.T, fn func()) (fe *FaultError) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			var ok bool
+			if fe, ok = p.(*FaultError); !ok {
+				t.Fatalf("panic value %T, want *FaultError", p)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestFaultPlanDeterminism(t *testing.T) {
+	p := FaultPlan{Seed: 42, Stage: "contig-generation"}
+	if !p.Enabled() {
+		t.Fatal("plan with seed and stage should be enabled")
+	}
+	if (FaultPlan{Seed: 42}).Enabled() || (FaultPlan{Stage: "x"}).Enabled() {
+		t.Fatal("plan missing seed or stage should be disabled")
+	}
+	for i := 0; i < 3; i++ {
+		if v := p.Victim(16); v != p.Victim(16) || v < 0 || v >= 16 {
+			t.Fatalf("victim not deterministic/in-range: %d", v)
+		}
+		if n := p.AfterCharges(); n != p.AfterCharges() || n < 1 || n > 256 {
+			t.Fatalf("after-charges not deterministic/in-range: %d", n)
+		}
+	}
+	// Different seeds should pick different crash points at least sometimes.
+	q := FaultPlan{Seed: 43, Stage: p.Stage}
+	if p.Victim(1024) == q.Victim(1024) && p.AfterCharges() == q.AfterCharges() {
+		t.Fatal("adjacent seeds map to identical victim and charge point")
+	}
+}
+
+// TestFaultCrashUnwindsTeam arms a plan and drives every rank through a
+// charge loop with barriers: the victim must crash at its countdown,
+// survivors (including ranks parked at the poisoned barrier) must
+// unwind, and Team.Run must surface a typed *FaultError naming the
+// victim. The team is dead afterwards: the next Run fails the same way.
+func TestFaultCrashUnwindsTeam(t *testing.T) {
+	plan := FaultPlan{Seed: 7, Stage: "stage-x"}
+	team := NewTeam(Config{Ranks: 8, RanksPerNode: 4, Seed: 1})
+	team.ArmFault(plan)
+
+	reached := make([]bool, 8)
+	fe := runWithFaultRecover(t, func() {
+		team.Run(func(r *Rank) {
+			for i := 0; i < 1000; i++ {
+				r.Charge(100)
+				if i%10 == 0 {
+					r.Barrier()
+				}
+			}
+			reached[r.ID] = true
+		})
+	})
+	if fe == nil {
+		t.Fatal("Run returned normally, want *FaultError panic")
+	}
+	if fe.Rank != plan.Victim(8) || fe.Stage != "stage-x" || fe.Seed != 7 {
+		t.Fatalf("FaultError = %+v, want victim %d stage-x seed 7", fe, plan.Victim(8))
+	}
+	if !team.FaultFired() {
+		t.Fatal("FaultFired() = false after crash")
+	}
+	for id, ok := range reached {
+		if ok {
+			t.Fatalf("rank %d completed the body despite the injected crash", id)
+		}
+	}
+
+	// A tripped team refuses further phases with the same typed error.
+	fe2 := runWithFaultRecover(t, func() {
+		team.Run(func(r *Rank) { r.Charge(1) })
+	})
+	if fe2 == nil || fe2.Rank != fe.Rank {
+		t.Fatalf("post-crash Run: got %+v, want same *FaultError", fe2)
+	}
+}
+
+// TestFaultDisarm verifies an armed-but-unfired plan can be disarmed:
+// a stage whose ranks never reach the countdown completes normally, and
+// after DisarmFault later stages run at full charge volume unharmed.
+func TestFaultDisarm(t *testing.T) {
+	team := NewTeam(Config{Ranks: 4, RanksPerNode: 2, Seed: 1})
+	team.ArmFault(FaultPlan{Seed: 99, Stage: "quiet"})
+	// No charges at all: the countdown cannot fire.
+	team.Run(func(r *Rank) {})
+	if team.FaultFired() {
+		t.Fatal("fault fired without any charge events")
+	}
+	team.DisarmFault()
+	done := make([]bool, 4)
+	team.Run(func(r *Rank) {
+		for i := 0; i < 2000; i++ {
+			r.Charge(10)
+		}
+		r.Barrier()
+		done[r.ID] = true
+	})
+	for id, ok := range done {
+		if !ok {
+			t.Fatalf("rank %d did not finish after disarm", id)
+		}
+	}
+}
+
+// TestFaultVictimDistribution: different seeds must spread crashes over
+// ranks, so a sweep over seeds exercises different victims.
+func TestFaultVictimDistribution(t *testing.T) {
+	seen := map[int]bool{}
+	for seed := int64(1); seed <= 32; seed++ {
+		seen[FaultPlan{Seed: seed, Stage: "s"}.Victim(8)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("32 seeds hit only %d of 8 ranks", len(seen))
+	}
+}

@@ -129,6 +129,11 @@ func (t *Team) AddCounter(name string, v int64) {
 	rec.Counters[name] += v
 }
 
+// OpenSpans returns the number of currently open spans, letting error
+// paths (an injected crash mid-stage) unwind to a known nesting depth by
+// calling EndSpan until the count returns to what it was.
+func (t *Team) OpenSpans() int { return len(t.open) }
+
 // Spans returns the span records in pre-order (parents before children).
 // Records of still-open spans have empty Ranks. The returned slice is
 // shared; callers must not mutate it.

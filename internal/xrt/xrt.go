@@ -164,6 +164,7 @@ type CommStats struct {
 	OnNodeBytes    int64
 	OffNodeBytes   int64
 	IOBytes        int64
+	IOWriteBytes   int64
 	CacheHits      int64
 	CacheMisses    int64
 }
@@ -179,6 +180,7 @@ func (s *CommStats) Add(o CommStats) {
 	s.OnNodeBytes += o.OnNodeBytes
 	s.OffNodeBytes += o.OffNodeBytes
 	s.IOBytes += o.IOBytes
+	s.IOWriteBytes += o.IOWriteBytes
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 }
@@ -195,6 +197,7 @@ func (s CommStats) Sub(o CommStats) CommStats {
 		OnNodeBytes:    s.OnNodeBytes - o.OnNodeBytes,
 		OffNodeBytes:   s.OffNodeBytes - o.OffNodeBytes,
 		IOBytes:        s.IOBytes - o.IOBytes,
+		IOWriteBytes:   s.IOWriteBytes - o.IOWriteBytes,
 		CacheHits:      s.CacheHits - o.CacheHits,
 		CacheMisses:    s.CacheMisses - o.CacheMisses,
 	}
@@ -256,6 +259,11 @@ type Rank struct {
 	foreignNs atomic.Int64 // work charged to this rank by other ranks
 	rng       *Prng
 	pert      *Prng // delay stream; nil unless Config.Perturb is enabled
+
+	// faultCD counts down charge events until this rank's injected crash;
+	// 0 means this rank is not the armed fault's victim (see fault.go).
+	// Only touched from the rank's own goroutine while a fault is armed.
+	faultCD int64
 }
 
 // advance charges ns of work: the virtual clock moves, and the rank's
@@ -264,6 +272,19 @@ type Rank struct {
 // deltas expose the per-rank load imbalance that clock synchronization
 // hides.
 func (r *Rank) advance(ns float64) {
+	r.clockNs += ns
+	r.workNs += ns
+	if r.team.faultOn {
+		r.faultPoint()
+	}
+}
+
+// advanceRaw moves the clock without visiting the fault hook. It is the
+// entry point for charges applied to a rank by the orchestrator or by
+// barrier epilogues (foldForeign): an injected crash must fire on the
+// victim's own goroutine — where panicking unwinds the victim's stack —
+// never inside another goroutine's barrier epilogue.
+func (r *Rank) advanceRaw(ns float64) {
 	r.clockNs += ns
 	r.workNs += ns
 }
@@ -375,6 +396,20 @@ func (r *Rank) ChargeIORead(bytes int64) {
 	r.advance(c.IOLatencyNs + float64(bytes)/bw*1e9)
 }
 
+// ChargeIOWrite models writing bytes to the shared parallel file system
+// (checkpoint segments, output FASTA) under the same saturation model as
+// ChargeIORead: per-rank bandwidth is the aggregate cap divided by the
+// team size when that is lower than a single stream's bandwidth.
+func (r *Rank) ChargeIOWrite(bytes int64) {
+	c := &r.team.cost
+	bw := c.IORankBytesPerSec
+	if agg := c.IOAggBytesPerSec / float64(r.team.cfg.Ranks); agg < bw {
+		bw = agg
+	}
+	r.stats.IOWriteBytes += bytes
+	r.advance(c.IOLatencyNs + float64(bytes)/bw*1e9)
+}
+
 // ClockNs returns the rank's current virtual clock including foreign
 // charges. Only safe to read from the owning goroutine or after a join.
 func (r *Rank) ClockNs() float64 {
@@ -382,7 +417,7 @@ func (r *Rank) ClockNs() float64 {
 }
 
 func (r *Rank) foldForeign() {
-	r.advance(float64(r.foreignNs.Swap(0)))
+	r.advanceRaw(float64(r.foreignNs.Swap(0)))
 }
 
 // WorkNs returns the rank's cumulative charged work, including foreign
@@ -411,6 +446,15 @@ type Team struct {
 	// span bookkeeping (see span.go); orchestrator-goroutine only
 	spans []*SpanRecord
 	open  []*openSpan
+
+	// fault-injection state (see fault.go). faultOn is written by the
+	// orchestrator between phases and read by ranks inside phases; the
+	// Run fork/join provides the happens-before edges. faultTripped is
+	// atomic because the victim sets it mid-phase for the others to see.
+	faultOn      bool
+	faultPlan    FaultPlan
+	faultVictim  int
+	faultTripped atomic.Bool
 }
 
 // NewTeam creates a team. The team may execute multiple Run phases; rank
@@ -469,6 +513,11 @@ type PhaseStats struct {
 // On return, all rank clocks are synchronized to the phase maximum and the
 // phase's virtual duration and communication delta are reported.
 func (t *Team) Run(fn func(r *Rank)) PhaseStats {
+	if t.faultTripped.Load() {
+		// The team already died; running another phase on it would hang
+		// on the poisoned barrier. Surface the same typed error.
+		panic(t.faultError())
+	}
 	before := t.AggStats()
 	start := t.maxClock()
 	wall := time.Now()
@@ -477,11 +526,17 @@ func (t *Team) Run(fn func(r *Rank)) PhaseStats {
 	for _, r := range t.ranks {
 		go func(r *Rank) {
 			defer wg.Done()
+			if t.faultOn {
+				defer recoverFaultCrash()
+			}
 			r.PerturbPoint(PerturbStart)
 			fn(r)
 		}(r)
 	}
 	wg.Wait()
+	if t.faultTripped.Load() {
+		panic(t.faultError())
+	}
 	t.syncClocks()
 	return PhaseStats{
 		Virtual: time.Duration(t.maxClock() - start),
@@ -633,6 +688,10 @@ type barrier struct {
 	n     int
 	count int
 	gen   int
+	// poisoned is set by a crashing rank (see fault.go): current waiters
+	// are released and every party panics out of await instead of
+	// completing, so a dead victim can never deadlock the survivors.
+	poisoned bool
 }
 
 func newBarrier(n int) *barrier {
@@ -645,6 +704,10 @@ func newBarrier(n int) *barrier {
 // lock, in the last arriver before anyone is released.
 func (b *barrier) await(onLast func()) {
 	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		panic(faultCrash{})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -657,8 +720,20 @@ func (b *barrier) await(onLast func()) {
 		b.mu.Unlock()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
 	}
+	poisoned := b.poisoned
+	b.mu.Unlock()
+	if poisoned {
+		panic(faultCrash{})
+	}
+}
+
+// poison releases every current and future waiter with a crash panic.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }
