@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify ckpt
+.PHONY: all build vet test race bench verify ckpt chaos
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 # claim/abort traversal, and the perturbation-seed assembly sweep), and a
 # short fuzz smoke over both record parsers. `make test` / `make race`
 # remain the exhaustive versions.
-verify: build vet ckpt
+verify: build vet ckpt chaos
 	$(GO) test -short ./...
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
@@ -42,6 +42,17 @@ ckpt:
 	$(GO) test -fuzz FuzzManifest -fuzztime 3s -run '^$$' ./internal/ckpt/
 	$(GO) test -short -run 'Fault' ./internal/xrt/
 	$(GO) test -short -run 'Checkpoint|CrashThenResume|CrashResume' ./internal/pipeline/ ./internal/expt/
+
+# Unreliable-transport correctness: the chaos-layer runtime tests
+# (deterministic drop/dup injection, retry/backoff, dedup window, retry
+# exhaustion), the freeze/thaw cache-invalidation regressions, a fuzz
+# smoke over the dedup window's exactly-once property, and the chaos
+# sweep (message faults at 4 chaos seeds on human+wheat, assert the
+# assembly is bit-identical to the fault-free run with nonzero retries).
+chaos:
+	$(GO) test -short -run 'Chaos|Dedup|Thaw' ./internal/xrt/ ./internal/dht/
+	$(GO) test -fuzz FuzzDedupWindow -fuzztime 3s -run '^$$' ./internal/dht/
+	$(GO) test -short -run 'ChaosSweep' ./internal/expt/
 
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths.

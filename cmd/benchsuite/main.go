@@ -6,6 +6,7 @@
 //	benchsuite -all             # every experiment (a few minutes)
 //	benchsuite -fig6 -table1    # selected experiments
 //	benchsuite -all -cores 48,96,192,384,768
+//	benchsuite -chaos -chaos-metrics-out chaos-metrics.json
 package main
 
 import (
@@ -19,6 +20,19 @@ import (
 	"hipmer/internal/metrics"
 )
 
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	fig6 := flag.Bool("fig6", false, "Figure 6: heavy-hitter k-mer analysis scaling (wheat)")
@@ -30,6 +44,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "design-choice ablations: Bloom memory, aggregating stores, oracle sizing")
 	verifyF := flag.Bool("verify", false, "metamorphic verification: rank-count invariance, schedule perturbation, assembly oracle")
 	faultResume := flag.Bool("fault-resume", false, "crash-resume sweep: injected rank crashes, checkpoint resume, bit-identical assembly")
+	chaos := flag.Bool("chaos", false, "chaos sweep: message drop/dup injection, retry/dedup layer, bit-identical assembly")
+	chaosMetricsOut := flag.String("chaos-metrics-out", "", "write the chaos runs' metrics reports (JSON array) to this path (implies -chaos)")
 	metricsOut := flag.String("metrics-out", "", "write per-stage metrics reports (human+wheat, JSON array) to this path")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
@@ -61,7 +77,7 @@ func main() {
 	}
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
-		*faultResume || *metricsOut != "") {
+		*faultResume || *chaos || *chaosMetricsOut != "" || *metricsOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -126,6 +142,29 @@ func main() {
 		for _, r := range rows {
 			if !r.Gate() {
 				fmt.Fprintf(os.Stderr, "benchsuite: crash-resume sweep failed on %s\n", r.Dataset)
+				os.Exit(1)
+			}
+		}
+	}
+	if *all || *chaos || *chaosMetricsOut != "" {
+		rows, reports, text := expt.ChaosSweep(sc)
+		fmt.Println(text)
+		for _, r := range rows {
+			fmt.Printf("  %s retry overhead: virtual %+.1f%%, payload traffic %+.1f%%, %s redelivered\n",
+				r.Dataset, r.VirtualOverheadPct(), r.CommOverheadPct(),
+				humanBytes(r.RedeliveredBytes))
+		}
+		fmt.Println()
+		if *chaosMetricsOut != "" {
+			if err := metrics.WriteFileAll(*chaosMetricsOut, reports); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d chaos metrics reports to %s\n", len(reports), *chaosMetricsOut)
+		}
+		for _, r := range rows {
+			if !r.Gate() {
+				fmt.Fprintf(os.Stderr, "benchsuite: chaos sweep failed on %s\n", r.Dataset)
 				os.Exit(1)
 			}
 		}

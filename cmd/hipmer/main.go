@@ -5,12 +5,20 @@
 //
 //	hipmer -reads lib1.fastq[,insert] [-reads lib2.fastq,4200] \
 //	       -k 31 -ranks 48 -out assembly.fasta [-contigs-only] [-ref ref.fasta] \
-//	       [-ckpt-dir run1.ckpt [-resume]] [-fault-seed N -fail-stage scaffolding]
+//	       [-ckpt-dir run1.ckpt [-resume]] [-fault-seed N -fail-stage scaffolding] \
+//	       [-chaos-seed N -drop-rate 0.05 [-retry-budget 16]]
 //
 // With -ckpt-dir each stage's output is checkpointed as it completes;
 // rerunning with -resume skips completed stages after validating the
 // checkpoint's config/input fingerprint. -fault-seed/-fail-stage inject a
-// deterministic rank crash (exit code 3) for crash-resume testing.
+// deterministic rank crash for crash-resume testing. -chaos-seed arms the
+// unreliable-transport simulation: messages are dropped/duplicated per
+// -drop-rate and carried by the deterministic retry/backoff/dedup layer;
+// the assembly must be bit-identical to the fault-free run.
+//
+// Exit codes: 0 success (or verified), 1 runtime/verification error,
+// 2 usage error (validateOptions), 3 injected rank crash (resumable with
+// -resume), 4 chaos retry budget exhausted (also resumable with -resume).
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"hipmer"
 	"hipmer/internal/fasta"
 	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
 )
 
 type libFlags []hipmer.Library
@@ -63,6 +72,9 @@ func main() {
 	resume := flag.Bool("resume", false, "skip stages already checkpointed in -ckpt-dir (fingerprint-validated)")
 	faultSeed := flag.Int64("fault-seed", 0, "deterministic fault-injection seed (requires -fail-stage)")
 	failStage := flag.String("fail-stage", "", "pipeline stage the injected rank crash fires in (requires -fault-seed)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "unreliable-transport seed (0 = off); output must not depend on it")
+	dropRate := flag.Float64("drop-rate", 0, "per-message loss probability in [0,1) (requires -chaos-seed)")
+	retryBudget := flag.Int("retry-budget", 16, "max retransmissions per message before the run fails (exit 4)")
 	flag.Parse()
 
 	opts := hipmer.Options{
@@ -79,6 +91,9 @@ func main() {
 		Resume:              *resume,
 		FaultSeed:           *faultSeed,
 		FailStage:           *failStage,
+		ChaosSeed:           *chaosSeed,
+		DropRate:            *dropRate,
+		RetryBudget:         *retryBudget,
 	}
 	if err := validateOptions(opts, len(libs)); err != nil {
 		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
@@ -104,6 +119,17 @@ func main() {
 	res, err := hipmer.Assemble(libs, opts)
 	if err != nil {
 		var sf *pipeline.StageFailedError
+		var re *xrt.RetryExhaustedError
+		if errors.As(err, &re) {
+			// Chaos retry budget exhausted: distinct exit code so chaos
+			// harnesses can tell transport give-up from a real error.
+			fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
+			if errors.As(err, &sf) && *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "hipmer: stages before %q are checkpointed in %s; rerun with -resume (any -chaos-seed)\n",
+					sf.Stage, *ckptDir)
+			}
+			os.Exit(4)
+		}
 		if errors.As(err, &sf) {
 			// Injected crash: distinct exit code so harnesses can tell a
 			// planned failure (resumable via -resume) from a real error.

@@ -44,5 +44,14 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 			return fmt.Errorf("-fail-stage %q does not exist with -contigs-only", opt.FailStage)
 		}
 	}
+	if opt.DropRate < 0 || opt.DropRate >= 1 {
+		return fmt.Errorf("-drop-rate must be in [0,1), got %g", opt.DropRate)
+	}
+	if opt.DropRate > 0 && opt.ChaosSeed == 0 {
+		return fmt.Errorf("-drop-rate requires -chaos-seed")
+	}
+	if opt.ChaosSeed != 0 && opt.RetryBudget < 1 {
+		return fmt.Errorf("-retry-budget must be >= 1, got %d", opt.RetryBudget)
+	}
 	return nil
 }

@@ -39,6 +39,33 @@ func TestValidateOptions(t *testing.T) {
 			o.FaultSeed = 9
 			o.FailStage = "kmer-analysis"
 		}, 1, ""},
+		{"drop-rate-negative", func(o *hipmer.Options) {
+			o.ChaosSeed = 7
+			o.RetryBudget = 16
+			o.DropRate = -0.1
+		}, 1, "[0,1)"},
+		{"drop-rate-one", func(o *hipmer.Options) {
+			o.ChaosSeed = 7
+			o.RetryBudget = 16
+			o.DropRate = 1.0
+		}, 1, "[0,1)"},
+		{"drop-rate-without-chaos-seed", func(o *hipmer.Options) {
+			o.DropRate = 0.05
+			o.RetryBudget = 16
+		}, 1, "-chaos-seed"},
+		{"retry-budget-zero-with-chaos", func(o *hipmer.Options) {
+			o.ChaosSeed = 7
+			o.RetryBudget = 0
+		}, 1, "-retry-budget"},
+		{"chaos-valid", func(o *hipmer.Options) {
+			o.ChaosSeed = 7
+			o.DropRate = 0.05
+			o.RetryBudget = 16
+		}, 1, ""},
+		{"chaos-seed-without-drop-rate", func(o *hipmer.Options) {
+			o.ChaosSeed = 7
+			o.RetryBudget = 16
+		}, 1, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -114,6 +114,20 @@ type Options struct {
 	// FailStage names the pipeline stage the injected crash fires in
 	// (see pipeline.StageNames for legal values).
 	FailStage string
+	// ChaosSeed, when non-zero, arms the unreliable-transport simulation:
+	// every remote message may be deterministically dropped or duplicated
+	// (per DropRate) and is carried by a reliable channel with retry,
+	// capped exponential backoff, and exactly-once dedup. The assembly
+	// must be bit-identical to the fault-free run — chaos only adds
+	// virtual retry time and reliability counters to Result.Metrics.
+	ChaosSeed int64
+	// DropRate is the per-transmission loss probability in [0,1);
+	// requires ChaosSeed. Default 0 (no losses even when chaos is armed).
+	DropRate float64
+	// RetryBudget caps retransmissions per message before the run fails
+	// with a retry-exhaustion error (default 16). Only read when
+	// ChaosSeed is non-zero.
+	RetryBudget int
 }
 
 // StageTime reports one pipeline stage's simulated (virtual) duration —
@@ -243,6 +257,11 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		RanksPerNode: opt.RanksPerNode,
 		Seed:         opt.Seed,
 		Perturb:      xrt.PerturbPlan{Seed: opt.PerturbSeed},
+		Chaos: xrt.MessageFaultPlan{
+			Seed:        opt.ChaosSeed,
+			DropRate:    opt.DropRate,
+			RetryBudget: opt.RetryBudget,
+		},
 	})
 	pres, err := pipeline.Run(team, plibs, cfg)
 	if err != nil {

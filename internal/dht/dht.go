@@ -263,21 +263,43 @@ func (t *Table[K, V]) Freeze(r *xrt.Rank) {
 	r.Barrier()
 }
 
-// Thaw is collective: it discards the per-rank caches (their coherence is
-// only guaranteed while frozen) and restores writability. Like Freeze it
-// is idempotent: thawing a writable table is a no-op.
+// Thaw is collective: it invalidates every per-rank cache (their
+// coherence is only guaranteed while frozen) and restores writability.
+// Like Freeze it is idempotent: thawing a writable table is a no-op.
+//
+// The invalidation is total by construction: each rank drops its own
+// goroutine-owned cache, and rank 0 sweeps all cache slots — while every
+// other rank is parked between barriers — before clearing the frozen
+// flag. No frozen-era entry, positive or negative, can survive into the
+// write phase and mask a post-thaw Put/Mutate from a later reader.
 func (t *Table[K, V]) Thaw(r *xrt.Rank) {
 	if !t.frozen.Load() {
 		r.Barrier()
 		return
 	}
 	r.Barrier()
-	t.caches[r.ID] = nil
+	t.invalidateCache(r.ID)
 	r.Barrier()
 	if r.ID == 0 {
+		t.invalidateAllCaches()
 		t.frozen.Store(false)
 	}
 	r.Barrier()
+}
+
+// invalidateCache discards rank id's read cache. Frozen-era entries —
+// including negative ones recording "key absent" — must never survive
+// into a write phase: a reader consulting a stale slot would miss a
+// post-thaw Put or Mutate entirely.
+func (t *Table[K, V]) invalidateCache(id int) { t.caches[id] = nil }
+
+// invalidateAllCaches discards every rank's cache. Only safe where no
+// rank goroutine can be reading its slot: between Thaw's barriers, or
+// from orchestration code between Run phases (ThawSerial).
+func (t *Table[K, V]) invalidateAllCaches() {
+	for i := range t.caches {
+		t.caches[i] = nil
+	}
 }
 
 // FreezeSerial freezes the table from orchestration code between Run
@@ -308,9 +330,7 @@ func (t *Table[K, V]) ThawSerial() {
 	if !t.frozen.Load() {
 		return
 	}
-	for i := range t.caches {
-		t.caches[i] = nil
-	}
+	t.invalidateAllCaches()
 	t.frozen.Store(false)
 }
 

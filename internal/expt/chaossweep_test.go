@@ -1,0 +1,60 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosSweepAllGreen runs the chaos harness at tiny scale.
+// Deliberately NOT gated behind -short: this is the CI chaos job's
+// workload, sized to stay fast.
+func TestChaosSweepAllGreen(t *testing.T) {
+	rows, reports, text := ChaosSweep(tinyScale())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s: sweep error: %s", r.Dataset, r.Err)
+		}
+		if r.Completed != len(r.ChaosSeeds) {
+			t.Errorf("%s: only %d/%d chaos runs completed", r.Dataset, r.Completed, len(r.ChaosSeeds))
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s: chaos assembly differs from fault-free run", r.Dataset)
+		}
+		if !r.RetriesNonzero {
+			t.Errorf("%s: a chaos run never retransmitted; the layer is not exercised", r.Dataset)
+		}
+		if r.Drops == 0 || r.Dups == 0 {
+			t.Errorf("%s: counters show no drops (%d) or no duplicate deliveries (%d)",
+				r.Dataset, r.Drops, r.Dups)
+		}
+		if r.ChaosVirtualSec <= r.BaseVirtualSec {
+			t.Errorf("%s: chaos virtual time %.3fs not above fault-free %.3fs (retries charge time)",
+				r.Dataset, r.ChaosVirtualSec, r.BaseVirtualSec)
+		}
+		// The transport adds no payload bytes, but speculative phases'
+		// comm profile shifts slightly with the virtual-time schedule
+		// (DESIGN.md §9) — bound the drift rather than demand equality.
+		if pct := r.CommOverheadPct(); pct < -5 || pct > 5 {
+			t.Errorf("%s: chaos shifted payload traffic by %.2f%%, outside the ±5%% schedule-drift bound",
+				r.Dataset, pct)
+		}
+		if !r.Gate() {
+			t.Errorf("%s: gate failed: %+v", r.Dataset, r)
+		}
+	}
+	if want := 2 * len(chaosSweepSeeds); len(reports) != want {
+		t.Errorf("got %d chaos metrics reports, want %d", len(reports), want)
+	}
+	for _, rep := range reports {
+		if !strings.Contains(rep.Dataset, "chaos-seed-") {
+			t.Errorf("report dataset %q not tagged with its chaos seed", rep.Dataset)
+		}
+	}
+	if !strings.Contains(text, "human") || !strings.Contains(text, "wheat") {
+		t.Fatalf("report missing datasets:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}

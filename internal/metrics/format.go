@@ -27,14 +27,14 @@ func (r *Report) FormatTable() string {
 	fmt.Fprintf(&buf, "\ntotal virtual time %v\n\n", time.Duration(r.VirtualNs))
 
 	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "%s\n", "stage\tvirtual\t%total\timb\tgini\tutil\toff-node%\tcache%\tmsgs\ttraffic")
+	fmt.Fprintf(w, "%s\n", "stage\tvirtual\t%total\timb\tgini\tutil\toff-node%\tcache%\tmsgs\ttraffic\tretx")
 	for _, st := range r.Stages {
 		name := strings.Repeat("  ", st.Depth) + st.Name
 		pct := 0.0
 		if r.VirtualNs > 0 {
 			pct = 100 * float64(st.VirtualNs) / float64(r.VirtualNs)
 		}
-		fmt.Fprintf(w, "%s\t%v\t%.1f\t%.2f\t%.3f\t%.2f\t%.1f\t%s\t%d\t%s\n",
+		fmt.Fprintf(w, "%s\t%v\t%.1f\t%.2f\t%.3f\t%.2f\t%.1f\t%s\t%d\t%s\t%s\n",
 			name,
 			time.Duration(st.VirtualNs),
 			pct,
@@ -45,6 +45,7 @@ func (r *Report) FormatTable() string {
 			cachePct(st.Comm),
 			st.Comm.OnNodeMsgs+st.Comm.OffNodeMsgs,
 			humanBytes(st.Comm.OnNodeBytes+st.Comm.OffNodeBytes),
+			retxFmt(st.Comm),
 		)
 	}
 	w.Flush()
@@ -73,6 +74,16 @@ func (r *Report) FormatTable() string {
 		cw.Flush()
 	}
 	return buf.String()
+}
+
+// retxFmt renders the reliability-layer activity as retries/dups plus
+// the redelivered volume, or "-" outside chaos runs (no MessageFaultPlan
+// or a stage with no retransmissions).
+func retxFmt(c Comm) string {
+	if c.Drops == 0 && c.Retries == 0 && c.Dups == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d (%s)", c.Retries, c.Dups, humanBytes(c.RedeliveredBytes))
 }
 
 // cachePct renders the cache hit rate, or "-" when no cached table was

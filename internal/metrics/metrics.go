@@ -88,6 +88,14 @@ type Comm struct {
 	IOWriteBytes   int64 `json:"io_write_bytes"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
+	// Reliability-layer counters, nonzero only under an xrt
+	// MessageFaultPlan (chaos runs): lost transmissions, retransmissions,
+	// duplicate deliveries discarded by the dedup window, and the bytes
+	// carried by retransmissions and duplicates.
+	Drops            int64 `json:"drops"`
+	Retries          int64 `json:"retries"`
+	Dups             int64 `json:"dups"`
+	RedeliveredBytes int64 `json:"redelivered_bytes"`
 
 	OffNodeLookupFrac float64 `json:"off_node_lookup_frac"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
@@ -96,18 +104,22 @@ type Comm struct {
 
 func commFrom(s xrt.CommStats) Comm {
 	return Comm{
-		LocalLookups:   s.LocalLookups,
-		OnNodeLookups:  s.OnNodeLookups,
-		OffNodeLookups: s.OffNodeLookups,
-		LocalStores:    s.LocalStores,
-		OnNodeMsgs:     s.OnNodeMsgs,
-		OffNodeMsgs:    s.OffNodeMsgs,
-		OnNodeBytes:    s.OnNodeBytes,
-		OffNodeBytes:   s.OffNodeBytes,
-		IOBytes:        s.IOBytes,
-		IOWriteBytes:   s.IOWriteBytes,
-		CacheHits:      s.CacheHits,
-		CacheMisses:    s.CacheMisses,
+		LocalLookups:     s.LocalLookups,
+		OnNodeLookups:    s.OnNodeLookups,
+		OffNodeLookups:   s.OffNodeLookups,
+		LocalStores:      s.LocalStores,
+		OnNodeMsgs:       s.OnNodeMsgs,
+		OffNodeMsgs:      s.OffNodeMsgs,
+		OnNodeBytes:      s.OnNodeBytes,
+		OffNodeBytes:     s.OffNodeBytes,
+		IOBytes:          s.IOBytes,
+		IOWriteBytes:     s.IOWriteBytes,
+		CacheHits:        s.CacheHits,
+		CacheMisses:      s.CacheMisses,
+		Drops:            s.Drops,
+		Retries:          s.Retries,
+		Dups:             s.Dups,
+		RedeliveredBytes: s.RedeliveredBytes,
 
 		OffNodeLookupFrac: s.OffNodeLookupFrac(),
 		CacheHitRate:      s.CacheHitRate(),
@@ -128,6 +140,8 @@ type RankMetrics struct {
 	Bytes          int64 `json:"bytes"`
 	IOBytes        int64 `json:"io_bytes"`
 	CacheHits      int64 `json:"cache_hits"`
+	// Retries is the rank's retransmission count (chaos runs only).
+	Retries int64 `json:"retries"`
 }
 
 // FromTeam builds a report from the team's recorded spans. Call after
@@ -172,6 +186,7 @@ func stageFrom(sp *xrt.SpanRecord) Stage {
 			Bytes:          rd.Comm.Bytes(),
 			IOBytes:        rd.Comm.IOBytes,
 			CacheHits:      rd.Comm.CacheHits,
+			Retries:        rd.Comm.Retries,
 		})
 	}
 	st.Imbalance = stats.NewDist(work)

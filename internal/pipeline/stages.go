@@ -24,15 +24,17 @@ import (
 )
 
 // StageFailedError reports a pipeline stage aborted by an injected rank
-// crash (Config.Fault): the team unwound cleanly, the error names the
-// stage and victim, and — when checkpointing was on — every stage before
-// the failed one remains resumable from Config.CkptDir.
+// crash (Config.Fault) or a chaos-layer retry exhaustion (an enabled
+// xrt.MessageFaultPlan whose budget ran out): the team unwound cleanly,
+// the error names the stage and rank, and — when checkpointing was on —
+// every stage before the failed one remains resumable from
+// Config.CkptDir.
 type StageFailedError struct {
 	// Stage is the pipeline stage that was running when the rank died.
 	Stage string
-	// Rank is the crashed rank.
+	// Rank is the crashed rank (the sender, for a retry exhaustion).
 	Rank int
-	// Err is the underlying *xrt.FaultError.
+	// Err is the underlying *xrt.FaultError or *xrt.RetryExhaustedError.
 	Err error
 }
 
@@ -254,21 +256,27 @@ func (env *stageEnv) track(name string, fn func() error) error {
 	return nil
 }
 
-// runStage executes one stage under its span, converting an injected
-// rank crash (surfaced by xrt as a *FaultError panic) into a typed
+// runStage executes one stage under its span, converting a team unwind —
+// an injected rank crash (*xrt.FaultError panic) or a chaos-layer retry
+// exhaustion (*xrt.RetryExhaustedError panic) — into a typed
 // StageFailedError after unwinding every span the dead stage left open.
 func runStage(env *stageEnv, st stage) (err error) {
 	depth := env.team.OpenSpans()
 	defer func() {
 		if p := recover(); p != nil {
-			fe, ok := p.(*xrt.FaultError)
-			if !ok {
+			var rank int
+			switch e := p.(type) {
+			case *xrt.FaultError:
+				rank = e.Rank
+			case *xrt.RetryExhaustedError:
+				rank = e.Src
+			default:
 				panic(p)
 			}
 			for env.team.OpenSpans() > depth {
 				env.team.EndSpan()
 			}
-			err = &StageFailedError{Stage: st.name, Rank: fe.Rank, Err: fe}
+			err = &StageFailedError{Stage: st.name, Rank: rank, Err: p.(error)}
 		}
 	}()
 	return env.track(st.name, func() error { return st.run(env) })
@@ -320,10 +328,11 @@ func loadStage(env *stageEnv, store *ckpt.Store, st stage) error {
 // geometry and seed, every pipeline knob, and the full read content of
 // every library. Computed after io (reads are the fingerprint's domain,
 // so io always reruns); a resume whose fingerprint differs refuses to
-// load. Perturb and fault seeds are deliberately excluded: they must not
-// change outputs (schedule perturbation) or represent the failure being
-// recovered from (fault injection), so a checkpoint from a crashed run
-// resumes under any of them.
+// load. Perturb, fault, and chaos seeds are deliberately excluded: they
+// must not change outputs (schedule perturbation, message-level chaos)
+// or represent the failure being recovered from (fault injection, retry
+// exhaustion), so a checkpoint from a crashed run resumes under any of
+// them — including a calmer chaos plan than the one that killed it.
 func runFingerprint(team *xrt.Team, cfg Config, readLibs []scaffold.ReadLib) string {
 	f := ckpt.NewFingerprint()
 	f.Str(ckpt.Schema)

@@ -1,0 +1,250 @@
+package xrt
+
+import "testing"
+
+// chaosWorkload drives every charge class the protocol hooks into —
+// remote lookups, aggregated store batches, direct foreign charges, and
+// collectives — with a deterministic per-rank program order.
+func chaosWorkload(r *Rank) {
+	p := r.N()
+	for i := 0; i < 200; i++ {
+		r.ChargeLookup((r.ID+1+i)%p, 64)
+		if i%10 == 0 {
+			r.ChargeStoreBatch((r.ID+2)%p, 16, 512)
+		}
+		if i%25 == 0 {
+			r.ChargeForeign((r.ID+3)%p, 1_000)
+		}
+	}
+	r.Barrier()
+	r.AllReduceInt64(int64(r.ID), func(a, b int64) int64 { return a + b })
+}
+
+func runChaos(ranks int, chaos MessageFaultPlan, perturb PerturbPlan) (*Team, PhaseStats) {
+	team := NewTeam(Config{Ranks: ranks, RanksPerNode: 4, Seed: 3, Chaos: chaos, Perturb: perturb})
+	st := team.Run(chaosWorkload)
+	return team, st
+}
+
+// TestChaosDisabledIsFree: without a plan the reliability counters stay
+// zero and the run is byte-for-byte the baseline.
+func TestChaosDisabledIsFree(t *testing.T) {
+	team, _ := runChaos(8, MessageFaultPlan{}, PerturbPlan{})
+	s := team.AggStats()
+	if s.Drops != 0 || s.Retries != 0 || s.Dups != 0 || s.RedeliveredBytes != 0 {
+		t.Fatalf("reliability counters nonzero without a plan: %+v", s)
+	}
+	if team.ChaosFired() {
+		t.Fatal("ChaosFired on a team without a plan")
+	}
+}
+
+// TestChaosDeterminism: for a fixed chaos seed, two runs produce
+// identical virtual time and identical per-rank statistics — the
+// drop/dup schedule is part of the configuration.
+func TestChaosDeterminism(t *testing.T) {
+	plan := MessageFaultPlan{Seed: 101, DropRate: 0.2, DupRate: 0.05}
+	teamA, stA := runChaos(8, plan, PerturbPlan{})
+	teamB, stB := runChaos(8, plan, PerturbPlan{})
+	if stA.Virtual != stB.Virtual {
+		t.Fatalf("virtual time differs across identical chaos runs: %v vs %v", stA.Virtual, stB.Virtual)
+	}
+	for i := 0; i < 8; i++ {
+		if teamA.RankStats(i) != teamB.RankStats(i) {
+			t.Fatalf("rank %d stats differ across identical chaos runs:\n%+v\n%+v",
+				i, teamA.RankStats(i), teamB.RankStats(i))
+		}
+	}
+	s := teamA.AggStats()
+	if s.Drops == 0 || s.Retries == 0 || s.RedeliveredBytes == 0 {
+		t.Fatalf("drop rate 0.2 produced no retry traffic: %+v", s)
+	}
+	if s.Dups == 0 {
+		t.Fatalf("dup rate 0.05 plus lost acks produced no duplicate deliveries: %+v", s)
+	}
+
+	// A different seed draws a different schedule.
+	teamC, _ := runChaos(8, MessageFaultPlan{Seed: 102, DropRate: 0.2, DupRate: 0.05}, PerturbPlan{})
+	if teamC.AggStats() == s {
+		t.Fatal("adjacent chaos seeds produced identical aggregate stats")
+	}
+}
+
+// TestChaosLeavesAlgorithmicRngUntouched: the chaos stream is decoupled
+// from Config.Seed's per-rank RNGs, so enabling message faults must not
+// shift any randomized algorithmic decision.
+func TestChaosLeavesAlgorithmicRngUntouched(t *testing.T) {
+	draw := func(chaos MessageFaultPlan) [][]uint64 {
+		team := NewTeam(Config{Ranks: 4, RanksPerNode: 2, Seed: 3, Chaos: chaos})
+		out := make([][]uint64, 4)
+		team.Run(func(r *Rank) {
+			for i := 0; i < 50; i++ {
+				r.ChargeLookup((r.ID+1)%4, 64)
+				out[r.ID] = append(out[r.ID], r.Rng().Uint64())
+			}
+		})
+		return out
+	}
+	base := draw(MessageFaultPlan{})
+	chaos := draw(MessageFaultPlan{Seed: 55, DropRate: 0.3, DupRate: 0.1})
+	for i := range base {
+		for j := range base[i] {
+			if base[i][j] != chaos[i][j] {
+				t.Fatalf("rank %d draw %d: algorithmic RNG diverged under chaos (%d vs %d)",
+					i, j, base[i][j], chaos[i][j])
+			}
+		}
+	}
+}
+
+// TestChaosOnlyAddsTimeAndCounters: enabling the plan leaves every
+// pre-existing statistic (lookups, messages, bytes by locality, cache
+// counters) identical to the fault-free run — retransmissions are
+// modelled as time and reliability counters, not as extra traffic in the
+// locality statistics the paper's tables are built from.
+func TestChaosOnlyAddsTimeAndCounters(t *testing.T) {
+	base, stBase := runChaos(8, MessageFaultPlan{}, PerturbPlan{})
+	chaos, stChaos := runChaos(8, MessageFaultPlan{Seed: 101, DropRate: 0.2, DupRate: 0.05}, PerturbPlan{})
+	for i := 0; i < 8; i++ {
+		b, c := base.RankStats(i), chaos.RankStats(i)
+		// Zero the reliability counters on the chaos side; the rest must match.
+		c.Drops, c.Retries, c.Dups, c.RedeliveredBytes = 0, 0, 0, 0
+		if b != c {
+			t.Fatalf("rank %d locality stats changed under chaos:\nbase  %+v\nchaos %+v", i, b, c)
+		}
+	}
+	if stChaos.Virtual <= stBase.Virtual {
+		t.Fatalf("chaos run not slower than baseline: %v <= %v", stChaos.Virtual, stBase.Virtual)
+	}
+}
+
+// TestChaosComposesWithPerturb: the chaos schedule is drawn in rank-local
+// program order, so layering schedule perturbation on top must not change
+// virtual time or any statistic for this deterministic workload.
+func TestChaosComposesWithPerturb(t *testing.T) {
+	plan := MessageFaultPlan{Seed: 101, DropRate: 0.1, DupRate: 0.02}
+	teamA, stA := runChaos(8, plan, PerturbPlan{})
+	teamB, stB := runChaos(8, plan, PerturbPlan{Seed: 9})
+	if stA.Virtual != stB.Virtual {
+		t.Fatalf("perturbation changed chaos virtual time: %v vs %v", stA.Virtual, stB.Virtual)
+	}
+	for i := 0; i < 8; i++ {
+		if teamA.RankStats(i) != teamB.RankStats(i) {
+			t.Fatalf("rank %d stats differ under perturbation:\n%+v\n%+v",
+				i, teamA.RankStats(i), teamB.RankStats(i))
+		}
+	}
+}
+
+// TestChaosRetryExhaustion: a channel that never delivers (drop rate 1)
+// exhausts its budget and unwinds the team with a typed
+// *RetryExhaustedError; the team is dead afterwards.
+func TestChaosRetryExhaustion(t *testing.T) {
+	team := NewTeam(Config{Ranks: 4, RanksPerNode: 2, Seed: 3,
+		Chaos: MessageFaultPlan{Seed: 7, DropRate: 1.0, RetryBudget: 3}})
+	reached := make([]bool, 4)
+	ree := runWithRetryRecover(t, func() {
+		team.Run(func(r *Rank) {
+			for i := 0; i < 100; i++ {
+				r.ChargeLookup((r.ID+1)%4, 64)
+				if i%10 == 0 {
+					r.Barrier()
+				}
+			}
+			reached[r.ID] = true
+		})
+	})
+	if ree == nil {
+		t.Fatal("Run returned normally, want *RetryExhaustedError panic")
+	}
+	if ree.Seed != 7 || ree.Attempts != 4 {
+		t.Fatalf("RetryExhaustedError = %+v, want seed 7, attempts = budget+1 = 4", ree)
+	}
+	if ree.Src == ree.Dst || ree.Src < 0 || ree.Src >= 4 || ree.Dst < 0 || ree.Dst >= 4 {
+		t.Fatalf("implausible channel in %+v", ree)
+	}
+	if !team.ChaosFired() {
+		t.Fatal("ChaosFired() = false after retry exhaustion")
+	}
+	for id, ok := range reached {
+		if ok {
+			t.Fatalf("rank %d completed the body despite retry exhaustion", id)
+		}
+	}
+	// The dead team surfaces the same typed error on the next phase.
+	ree2 := runWithRetryRecover(t, func() {
+		team.Run(func(r *Rank) { r.Charge(1) })
+	})
+	if ree2 == nil || ree2.Src != ree.Src || ree2.Seq != ree.Seq {
+		t.Fatalf("post-trip Run: got %+v, want same *RetryExhaustedError", ree2)
+	}
+}
+
+// runWithRetryRecover runs fn and returns the *RetryExhaustedError it
+// panics with (nil if it returns normally).
+func runWithRetryRecover(t *testing.T, fn func()) (ree *RetryExhaustedError) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			var ok bool
+			if ree, ok = p.(*RetryExhaustedError); !ok {
+				t.Fatalf("panic value %T (%v), want *RetryExhaustedError", p, p)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TestDedupWindowExactlyOnce covers the window invariants directly:
+// first deliveries admit, retransmissions and below-window stragglers do
+// not, and in-window reordering stays exactly-once.
+func TestDedupWindowExactlyOnce(t *testing.T) {
+	w := NewDedupWindow(8)
+	for seq := uint64(0); seq < 100; seq++ {
+		if !w.Admit(seq) {
+			t.Fatalf("first delivery of %d rejected", seq)
+		}
+		if w.Admit(seq) {
+			t.Fatalf("duplicate of %d admitted", seq)
+		}
+	}
+	// Below the window: assumed already applied.
+	if w.Admit(3) {
+		t.Fatal("straggler duplicate far below the window admitted")
+	}
+	// In-window reordering: deliver out of order, then duplicate each.
+	w2 := NewDedupWindow(8)
+	order := []uint64{2, 0, 1, 5, 3, 4, 6, 7}
+	for _, seq := range order {
+		if !w2.Admit(seq) {
+			t.Fatalf("reordered first delivery of %d rejected", seq)
+		}
+	}
+	for _, seq := range order {
+		if w2.Admit(seq) {
+			t.Fatalf("duplicate of reordered %d admitted", seq)
+		}
+	}
+}
+
+// TestChaosSeedStreamsDecorrelated: per-rank chaos streams must differ
+// from each other and from the same rank's algorithmic stream.
+func TestChaosSeedStreamsDecorrelated(t *testing.T) {
+	a := NewPrng(chaosSeed(9, 0))
+	b := NewPrng(chaosSeed(9, 1))
+	alg := NewPrng(9 + 0*0x9e3779b97f4a7c + 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		x := a.Uint64()
+		if x == b.Uint64() {
+			same++
+		}
+		if x == alg.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("chaos streams collide %d times in 64 draws", same)
+	}
+}

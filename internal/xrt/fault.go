@@ -136,11 +136,12 @@ func (r *Rank) faultPoint() {
 }
 
 // CheckFault lets uncharged spin loops (e.g. dht.MutateRetry waiting for
-// another rank to release a claim) observe an injected crash: without a
-// charge or a barrier in the loop body a survivor could otherwise spin
-// forever waiting on a dead victim. No-op unless a fault is armed.
+// another rank to release a claim) observe a team unwind — an injected
+// crash or a chaos-layer retry exhaustion: without a charge or a barrier
+// in the loop body a survivor could otherwise spin forever waiting on a
+// dead victim. No-op unless a fault or message-fault plan is active.
 func (r *Rank) CheckFault() {
-	if r.team.faultOn && r.team.faultTripped.Load() {
+	if (r.team.faultOn || r.team.chaosOn) && r.team.faultTripped.Load() {
 		panic(faultCrash{})
 	}
 }

@@ -39,6 +39,13 @@ type Config struct {
 	// output. It never affects virtual time, statistics, or Seed's RNG
 	// streams.
 	Perturb PerturbPlan
+	// Chaos, when enabled (non-zero Seed), simulates a lossy, duplicating
+	// network under every remote operation and the reliable-channel
+	// protocol that absorbs it (see chaos.go). It adds deterministic
+	// virtual time and retry counters but never changes what the
+	// operations apply, so assemblies stay bit-identical to a fault-free
+	// run.
+	Chaos MessageFaultPlan
 }
 
 // CostModel holds calibrated virtual-time costs, all in nanoseconds unless
@@ -167,6 +174,14 @@ type CommStats struct {
 	IOWriteBytes   int64
 	CacheHits      int64
 	CacheMisses    int64
+	// Reliability-layer counters, nonzero only under a MessageFaultPlan
+	// (see chaos.go): transmissions lost (message or ack), retransmissions
+	// issued, duplicate deliveries discarded by the dedup window, and the
+	// payload bytes carried by retransmissions and duplicates.
+	Drops            int64
+	Retries          int64
+	Dups             int64
+	RedeliveredBytes int64
 }
 
 // Add accumulates o into s.
@@ -183,23 +198,31 @@ func (s *CommStats) Add(o CommStats) {
 	s.IOWriteBytes += o.IOWriteBytes
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.Drops += o.Drops
+	s.Retries += o.Retries
+	s.Dups += o.Dups
+	s.RedeliveredBytes += o.RedeliveredBytes
 }
 
 // Sub returns s - o, used for per-phase deltas.
 func (s CommStats) Sub(o CommStats) CommStats {
 	return CommStats{
-		LocalLookups:   s.LocalLookups - o.LocalLookups,
-		OnNodeLookups:  s.OnNodeLookups - o.OnNodeLookups,
-		OffNodeLookups: s.OffNodeLookups - o.OffNodeLookups,
-		LocalStores:    s.LocalStores - o.LocalStores,
-		OnNodeMsgs:     s.OnNodeMsgs - o.OnNodeMsgs,
-		OffNodeMsgs:    s.OffNodeMsgs - o.OffNodeMsgs,
-		OnNodeBytes:    s.OnNodeBytes - o.OnNodeBytes,
-		OffNodeBytes:   s.OffNodeBytes - o.OffNodeBytes,
-		IOBytes:        s.IOBytes - o.IOBytes,
-		IOWriteBytes:   s.IOWriteBytes - o.IOWriteBytes,
-		CacheHits:      s.CacheHits - o.CacheHits,
-		CacheMisses:    s.CacheMisses - o.CacheMisses,
+		LocalLookups:     s.LocalLookups - o.LocalLookups,
+		OnNodeLookups:    s.OnNodeLookups - o.OnNodeLookups,
+		OffNodeLookups:   s.OffNodeLookups - o.OffNodeLookups,
+		LocalStores:      s.LocalStores - o.LocalStores,
+		OnNodeMsgs:       s.OnNodeMsgs - o.OnNodeMsgs,
+		OffNodeMsgs:      s.OffNodeMsgs - o.OffNodeMsgs,
+		OnNodeBytes:      s.OnNodeBytes - o.OnNodeBytes,
+		OffNodeBytes:     s.OffNodeBytes - o.OffNodeBytes,
+		IOBytes:          s.IOBytes - o.IOBytes,
+		IOWriteBytes:     s.IOWriteBytes - o.IOWriteBytes,
+		CacheHits:        s.CacheHits - o.CacheHits,
+		CacheMisses:      s.CacheMisses - o.CacheMisses,
+		Drops:            s.Drops - o.Drops,
+		Retries:          s.Retries - o.Retries,
+		Dups:             s.Dups - o.Dups,
+		RedeliveredBytes: s.RedeliveredBytes - o.RedeliveredBytes,
 	}
 }
 
@@ -260,6 +283,12 @@ type Rank struct {
 	rng       *Prng
 	pert      *Prng // delay stream; nil unless Config.Perturb is enabled
 
+	// chaos is the message-fault decision stream and chans the per-peer
+	// reliable-channel state; both nil unless Config.Chaos is enabled.
+	// Owned by the rank's goroutine (deliveries are simulated sender-side).
+	chaos *Prng
+	chans []chanState
+
 	// faultCD counts down charge events until this rank's injected crash;
 	// 0 means this rank is not the armed fault's victim (see fault.go).
 	// Only touched from the rank's own goroutine while a fault is armed.
@@ -319,15 +348,25 @@ func (r *Rank) Charge(ns float64) { r.advance(ns) }
 func (r *Rank) ChargeItems(n int) { r.advance(float64(n) * r.team.cost.ItemNs) }
 
 // ChargeForeign charges ns of work to another rank (e.g. the owner of a
-// hash-table shard processing items this rank sent it). Safe to call from
-// any goroutine.
+// hash-table shard processing items this rank sent it). The foreign
+// accumulator is atomic, but the call must come from r's own goroutine
+// (it draws from r's chaos stream under a MessageFaultPlan).
 func (r *Rank) ChargeForeign(dst int, ns float64) {
+	r.chaosPoint(dst, 0)
+	r.chargeForeignRaw(dst, ns)
+}
+
+// chargeForeignRaw is ChargeForeign without the message-fault protocol,
+// for charges that ride on an already-delivered message (a store batch's
+// per-item apply cost must not roll a second drop decision).
+func (r *Rank) chargeForeignRaw(dst int, ns float64) {
 	r.team.ranks[dst].foreignNs.Add(int64(ns))
 }
 
 // ChargeLookup records a read of one item of the given size whose home is
 // rank dst, charging latency and classifying the event.
 func (r *Rank) ChargeLookup(dst int, bytes int) {
+	r.chaosPoint(dst, bytes)
 	c := &r.team.cost
 	switch r.Locality(dst) {
 	case Local:
@@ -364,6 +403,7 @@ func (r *Rank) CountCacheMiss() {
 // the given bytes to rank dst (the aggregating-stores pattern: one message
 // per flushed buffer). The receiver is charged the per-item apply cost.
 func (r *Rank) ChargeStoreBatch(dst, n, bytes int) {
+	r.chaosPoint(dst, bytes)
 	c := &r.team.cost
 	switch r.Locality(dst) {
 	case Local:
@@ -373,12 +413,12 @@ func (r *Rank) ChargeStoreBatch(dst, n, bytes int) {
 		r.stats.OnNodeMsgs++
 		r.stats.OnNodeBytes += int64(bytes)
 		r.advance(c.OnNodeMsgNs + float64(bytes)*c.OnNodeByteNs)
-		r.ChargeForeign(dst, float64(n)*c.LocalOpNs)
+		r.chargeForeignRaw(dst, float64(n)*c.LocalOpNs)
 	default:
 		r.stats.OffNodeMsgs++
 		r.stats.OffNodeBytes += int64(bytes)
 		r.advance(c.OffNodeMsgNs + float64(bytes)*c.OffNodeByteNs)
-		r.ChargeForeign(dst, float64(n)*c.LocalOpNs)
+		r.chargeForeignRaw(dst, float64(n)*c.LocalOpNs)
 	}
 }
 
@@ -455,6 +495,12 @@ type Team struct {
 	faultPlan    FaultPlan
 	faultVictim  int
 	faultTripped atomic.Bool
+
+	// message-fault state (see chaos.go). chaosOn is static for the
+	// team's lifetime; chaosErr records the first retry exhaustion (the
+	// trip itself reuses faultTripped + barrier poisoning).
+	chaosOn  bool
+	chaosErr atomic.Pointer[RetryExhaustedError]
 }
 
 // NewTeam creates a team. The team may execute multiple Run phases; rank
@@ -468,6 +514,7 @@ func NewTeam(cfg Config) *Team {
 	}
 	cfg.Cost = cfg.Cost.withDefaults()
 	cfg.Perturb = cfg.Perturb.withDefaults()
+	cfg.Chaos = cfg.Chaos.withDefaults()
 	t := &Team{
 		cfg:    cfg,
 		cost:   cfg.Cost,
@@ -485,6 +532,11 @@ func NewTeam(cfg Config) *Team {
 		}
 		if cfg.Perturb.Enabled() {
 			t.ranks[i].pert = NewPrng(perturbSeed(cfg.Perturb.Seed, i))
+		}
+		if cfg.Chaos.Enabled() {
+			t.chaosOn = true
+			t.ranks[i].chaos = NewPrng(chaosSeed(cfg.Chaos.Seed, i))
+			t.ranks[i].chans = make([]chanState, cfg.Ranks)
 		}
 	}
 	return t
@@ -516,7 +568,7 @@ func (t *Team) Run(fn func(r *Rank)) PhaseStats {
 	if t.faultTripped.Load() {
 		// The team already died; running another phase on it would hang
 		// on the poisoned barrier. Surface the same typed error.
-		panic(t.faultError())
+		panic(t.tripError())
 	}
 	before := t.AggStats()
 	start := t.maxClock()
@@ -526,7 +578,7 @@ func (t *Team) Run(fn func(r *Rank)) PhaseStats {
 	for _, r := range t.ranks {
 		go func(r *Rank) {
 			defer wg.Done()
-			if t.faultOn {
+			if t.faultOn || t.chaosOn {
 				defer recoverFaultCrash()
 			}
 			r.PerturbPoint(PerturbStart)
@@ -535,7 +587,7 @@ func (t *Team) Run(fn func(r *Rank)) PhaseStats {
 	}
 	wg.Wait()
 	if t.faultTripped.Load() {
-		panic(t.faultError())
+		panic(t.tripError())
 	}
 	t.syncClocks()
 	return PhaseStats{
@@ -672,10 +724,13 @@ func (r *Rank) ExclusivePrefixSum(v int64) (offset, total int64) {
 }
 
 // chargeCollective charges a log(p) latency tree for a small collective.
+// Under a MessageFaultPlan each tree step's control message to the
+// step's partner rank runs the reliable-channel protocol.
 func (r *Rank) chargeCollective() {
-	p := float64(r.team.cfg.Ranks)
+	p := r.team.cfg.Ranks
 	steps := 0.0
-	for n := 1.0; n < p; n *= 2 {
+	for n := 1; n < p; n *= 2 {
+		r.chaosPoint((r.ID+n)%p, collectiveMsgBytes)
 		steps++
 	}
 	r.Charge(steps * r.team.cost.OffNodeMsgNs)
