@@ -55,10 +55,17 @@ chaos:
 	$(GO) test -short -run 'ChaosSweep' ./internal/expt/
 
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
-# comparing striped-mutex, frozen lock-free, and frozen+cached Get paths.
-# Also writes the per-stage metrics reports (human+wheat end-to-end runs)
-# to metrics.json — CI uploads it as the run's observability artifact.
+# comparing striped-mutex, frozen lock-free, and frozen+cached Get paths,
+# and the minimizer-scan/super-k-mer-encode hot loops. Also writes the
+# per-stage metrics reports (human+wheat end-to-end runs) to metrics.json
+# and the k-mer-analysis communication benchmark to BENCH_kanalysis.json —
+# CI uploads both as the run's observability artifacts. The benchsuite run
+# exits nonzero if the super-k-mer exhibit misses its >=5x message /
+# >=3x byte reduction gate or regresses >10% in stage-1 message count
+# against the committed bench/BENCH_kanalysis.json baseline.
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x .
 	$(GO) test -run xxx -bench BenchmarkDHTGet ./internal/dht/
-	$(GO) run ./cmd/benchsuite -metrics-out metrics.json
+	$(GO) test -run xxx -bench 'BenchmarkMinimizerScan|BenchmarkSuperKmerEncode' ./internal/kmer/
+	$(GO) run ./cmd/benchsuite -metrics-out metrics.json \
+		-bench-out BENCH_kanalysis.json -bench-baseline bench/BENCH_kanalysis.json

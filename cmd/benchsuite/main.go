@@ -47,6 +47,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "chaos sweep: message drop/dup injection, retry/dedup layer, bit-identical assembly")
 	chaosMetricsOut := flag.String("chaos-metrics-out", "", "write the chaos runs' metrics reports (JSON array) to this path (implies -chaos)")
 	metricsOut := flag.String("metrics-out", "", "write per-stage metrics reports (human+wheat, JSON array) to this path")
+	benchOut := flag.String("bench-out", "", "run the k-mer-analysis communication benchmark and write BENCH_kanalysis.json to this path")
+	benchBaseline := flag.String("bench-baseline", "", "committed BENCH_kanalysis.json to compare against; exit 1 if stage-1 messages regress >10% (requires -bench-out)")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
 	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
@@ -77,7 +79,7 @@ func main() {
 	}
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
-		*faultResume || *chaos || *chaosMetricsOut != "" || *metricsOut != "") {
+		*faultResume || *chaos || *chaosMetricsOut != "" || *metricsOut != "" || *benchOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -186,7 +188,34 @@ func main() {
 		fmt.Println(text)
 		_, text = expt.AblationAggStores(sc)
 		fmt.Println(text)
+		_, text = expt.AblationSuperKmers(sc)
+		fmt.Println(text)
 		_, text = expt.AblationOracleMemory(sc)
 		fmt.Println(text)
+	}
+	if *benchOut != "" {
+		art, text := expt.BenchKanalysis(sc)
+		fmt.Println(text)
+		if err := art.WriteFile(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote k-mer analysis bench artifact to %s\n", *benchOut)
+		if err := art.Gate(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		if *benchBaseline != "" {
+			base, err := expt.ReadBenchArtifact(*benchBaseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			if err := expt.CompareBenchArtifacts(base, art, 10); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("bench comparison vs %s: within 10%% of baseline\n", *benchBaseline)
+		}
 	}
 }

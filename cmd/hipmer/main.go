@@ -64,6 +64,8 @@ func main() {
 	out := flag.String("out", "assembly.fasta", "output FASTA path")
 	contigsOnly := flag.Bool("contigs-only", false, "stop after contig generation (metagenome mode)")
 	noHH := flag.Bool("no-heavy-hitters", false, "disable the heavy-hitter optimization")
+	minimizerLen := flag.Int("minimizer-len", 0, "super-k-mer minimizer length m (0 = default; odd, 4 <= m < k)")
+	noSuperKmers := flag.Bool("no-superkmers", false, "send one store per k-mer occurrence instead of minimizer-binned super-k-mer blobs")
 	refPath := flag.String("ref", "", "optional reference FASTA for validation")
 	doVerify := flag.Bool("verify", false, "run the assembly oracle (with -ref: also misassembly and gap checks); exit nonzero on failure")
 	perturbSeed := flag.Int64("perturb-seed", 0, "schedule-perturbation seed (0 = off); output must not depend on it")
@@ -85,6 +87,8 @@ func main() {
 		Seed:                *seed,
 		ContigsOnly:         *contigsOnly,
 		DisableHeavyHitters: *noHH,
+		MinimizerLen:        *minimizerLen,
+		DisableSuperKmers:   *noSuperKmers,
 		Verify:              *doVerify,
 		PerturbSeed:         *perturbSeed,
 		CkptDir:             *ckptDir,

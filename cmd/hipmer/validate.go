@@ -19,6 +19,17 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 	if opt.K%2 == 0 {
 		return fmt.Errorf("-k must be odd, got %d", opt.K)
 	}
+	if m := opt.MinimizerLen; m != 0 {
+		if m%2 == 0 {
+			return fmt.Errorf("-minimizer-len must be odd, got %d", m)
+		}
+		if m < 4 || m > 31 {
+			return fmt.Errorf("-minimizer-len must be in 4..31, got %d", m)
+		}
+		if m >= opt.K {
+			return fmt.Errorf("-minimizer-len must be < k (%d), got %d", opt.K, m)
+		}
+	}
 	if opt.MinCount < 1 {
 		return fmt.Errorf("-min-count must be >= 1, got %d", opt.MinCount)
 	}

@@ -74,6 +74,14 @@ type Options struct {
 	Seed int64
 	// DisableHeavyHitters turns off the §3.1 frequent-k-mer optimization.
 	DisableHeavyHitters bool
+	// MinimizerLen overrides the minimizer length m used to bin k-mer
+	// occurrences into super-k-mers during k-mer analysis (0 = default;
+	// must be odd and satisfy 4 <= m < K when set).
+	MinimizerLen int
+	// DisableSuperKmers reverts stage-1 communication to one aggregated
+	// store per k-mer occurrence instead of minimizer-binned super-k-mer
+	// blobs (the communication-volume ablation baseline).
+	DisableSuperKmers bool
 	// ContigsOnly stops after contig generation (metagenome mode, §5.4).
 	ContigsOnly bool
 	// OracleContigs, when non-nil, builds the §3.2 communication-avoiding
@@ -230,6 +238,8 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		K:                   opt.K,
 		MinCount:            opt.MinCount,
 		DisableHeavyHitters: opt.DisableHeavyHitters,
+		MinimizerLen:        opt.MinimizerLen,
+		DisableSuperKmers:   opt.DisableSuperKmers,
 		ContigsOnly:         opt.ContigsOnly,
 		ScaffoldRounds:      opt.ScaffoldRounds,
 		CkptDir:             opt.CkptDir,

@@ -185,7 +185,7 @@ func BuildIndex(team *xrt.Team, contigsByRank [][]*contig.Contig, opt Options) *
 		CacheSlots:    opt.CacheSeeds,
 	}, nil)
 	cap := opt.MaxSeedHits
-	idx.seeds.SetApply(func(_, _ int, k kmer.Kmer, in hitList, shard map[kmer.Kmer]hitList) {
+	idx.seeds.SetApply(func(_, _ int, _ uint64, k kmer.Kmer, in hitList, shard map[kmer.Kmer]hitList) {
 		cur := shard[k]
 		if cur.saturated {
 			return

@@ -40,8 +40,10 @@ import (
 )
 
 // Schema is the manifest schema version; a manifest carrying any other
-// value refuses to load.
-const Schema = "hipmer-ckpt/v1"
+// value refuses to load. v2: the k-mer stage payload gained table
+// placement parameters (k, minimizer length) and super-k-mer transport
+// counters.
+const Schema = "hipmer-ckpt/v2"
 
 // ManifestName is the manifest's filename inside a run directory.
 const ManifestName = "MANIFEST.json"

@@ -162,11 +162,11 @@ func TestReadStageDetectsCorruption(t *testing.T) {
 
 func TestParseManifestRejectsTraversalAndDuplicates(t *testing.T) {
 	cases := []string{
-		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"../evil.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"/abs.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":".hidden"}]}`,
-		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"","file":"x.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"x.seg"},{"name":"a","file":"y.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v2","stages":[{"name":"a","file":"../evil.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v2","stages":[{"name":"a","file":"/abs.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v2","stages":[{"name":"a","file":".hidden"}]}`,
+		`{"schema":"hipmer-ckpt/v2","stages":[{"name":"","file":"x.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v2","stages":[{"name":"a","file":"x.seg"},{"name":"a","file":"y.seg"}]}`,
 	}
 	for _, c := range cases {
 		if _, err := ParseManifest([]byte(c)); !errors.Is(err, ErrBadManifest) {
@@ -215,8 +215,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 // FuzzManifest: no manifest or segment bytes may panic the parsers, and
 // a successful manifest parse must satisfy the documented invariants.
 func FuzzManifest(f *testing.F) {
-	f.Add([]byte(`{"schema":"hipmer-ckpt/v1","fingerprint":"00","stages":[]}`))
-	f.Add([]byte(`{"schema":"hipmer-ckpt/v1","stages":[{"name":"a","file":"a.seg"}]}`))
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v2","fingerprint":"00","stages":[]}`))
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v2","stages":[{"name":"a","file":"a.seg"}]}`))
 	f.Add([]byte(`{`))
 	f.Add(encodeSegment("kmer-analysis", []byte("payload")))
 	f.Add([]byte(segMagic))

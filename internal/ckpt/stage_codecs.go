@@ -40,8 +40,11 @@ import (
 // k-mer analysis
 
 // EncodeKmerStage serializes a k-mer analysis result. The table must be
-// quiescent (frozen or between phases).
-func EncodeKmerStage(res *kanalysis.Result) []byte {
+// quiescent (frozen or between phases). k and minimizerLen record the
+// table-placement parameters (kanalysis.EffectiveMinimizerLen: 0 =
+// classic hash placement) so rehydration rebuilds a table whose owners
+// match the one that was checkpointed.
+func EncodeKmerStage(res *kanalysis.Result, k, minimizerLen int) []byte {
 	type entry struct {
 		km kmer.Kmer
 		d  kanalysis.KmerData
@@ -59,11 +62,16 @@ func EncodeKmerStage(res *kanalysis.Result) []byte {
 		return a.W[1] < b.W[1]
 	})
 	e := &enc{}
+	e.u32(uint32(k))
+	e.u32(uint32(minimizerLen))
 	e.u64(res.DistinctEstimate)
 	e.i64(int64(res.HeavyHitters))
 	e.i64(res.Kept)
 	e.i64(res.PeakEntries)
 	e.i64(res.TotalKmers)
+	e.i64(res.SuperKmers)
+	e.i64(res.SuperKmerBases)
+	e.i64(res.CommBytesSaved)
 	e.u64(uint64(len(entries)))
 	for _, en := range entries {
 		e.u64(en.km.W[0])
@@ -93,13 +101,21 @@ const kmerEntryBytes = 8 + 8 + 4 + 4*4 + 4*4 + 1 + 1
 func DecodeKmerStage(team *xrt.Team, b []byte, aggBufSize int) (*kanalysis.Result, error) {
 	d := &dec{b: b}
 	res := &kanalysis.Result{}
+	k := int(d.u32())
+	minimizerLen := int(d.u32())
+	if d.err == nil && (k <= 0 || k > kmer.MaxK || minimizerLen < 0 || minimizerLen >= k && minimizerLen != 0) {
+		return nil, fmt.Errorf("kmer-analysis payload: bad placement params k=%d m=%d", k, minimizerLen)
+	}
 	res.DistinctEstimate = d.u64()
 	res.HeavyHitters = int(d.i64())
 	res.Kept = d.i64()
 	res.PeakEntries = d.i64()
 	res.TotalKmers = d.i64()
+	res.SuperKmers = d.i64()
+	res.SuperKmerBases = d.i64()
+	res.CommBytesSaved = d.i64()
 	n := d.count(kmerEntryBytes)
-	table := kanalysis.NewTable(team, int64(n), aggBufSize, 0)
+	table := kanalysis.NewTable(team, int64(n), aggBufSize, 0, k, minimizerLen)
 	p := team.Config().Ranks
 	type entry struct {
 		km kmer.Kmer

@@ -187,7 +187,7 @@ func Run(team *xrt.Team, kt *dht.Table[kmer.Kmer, kanalysis.KmerData], opt Optio
 	// sequences, so numbering is deterministic regardless of which rank's
 	// walk produced a contig or in what order walks completed.
 	// The apply hook updates only the Contig field so node data survives.
-	graph.SetApply(func(_, _ int, k kmer.Kmer, in Node, shard map[kmer.Kmer]Node) {
+	graph.SetApply(func(_, _ int, _ uint64, k kmer.Kmer, in Node, shard map[kmer.Kmer]Node) {
 		if n, ok := shard[k]; ok {
 			n.Contig = in.Contig
 			shard[k] = n

@@ -1,0 +1,155 @@
+package dht
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hipmer/internal/xrt"
+)
+
+// blobCodec is a trivial record format for the tests: 8-byte LE key +
+// 8-byte LE value per item.
+func blobAppend(dst []byte, k uint64, v int64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, k)
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func blobDecode(payload []byte, put func(k uint64, v int64)) {
+	for len(payload) >= 16 {
+		put(binary.LittleEndian.Uint64(payload), int64(binary.LittleEndian.Uint64(payload[8:])))
+		payload = payload[16:]
+	}
+}
+
+// TestPutBlobChargesOneMessageOfPayloadBytes: records buffered for one
+// destination ship as a single message whose size is the byte payload,
+// not one message (or item-record bytes) per item.
+func TestPutBlobChargesOneMessageOfPayloadBytes(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2, RanksPerNode: 1})
+	opt := intOpts()
+	opt.ItemBytes = 64 // what the per-item path would have charged
+	tab := New[uint64, int64](team, opt, sumMerge)
+	tab.SetBlobApply(func(src, owner int, payload []byte, put func(k uint64, v int64)) {
+		blobDecode(payload, put)
+	})
+
+	const items = 100
+	team.Run(func(r *xrt.Rank) {
+		if r.ID == 0 {
+			for i := 0; i < items; i++ {
+				tab.PutBlob(r, 1, blobAppend(nil, uint64(i), 1), 1)
+			}
+			tab.Flush(r)
+		}
+		r.Barrier()
+	})
+
+	s := team.AggStats()
+	if got := s.OffNodeMsgs + s.OnNodeMsgs; got != 1 {
+		t.Fatalf("blob flush sent %d messages, want 1", got)
+	}
+	if got, want := s.OffNodeBytes+s.OnNodeBytes, int64(items*16); got != want {
+		t.Fatalf("blob flush charged %d bytes, want payload size %d", got, want)
+	}
+	var n int
+	tab.RangeAll(func(k uint64, v int64) bool {
+		if v != 1 {
+			t.Fatalf("key %d has count %d, want 1", k, v)
+		}
+		n++
+		return true
+	})
+	if n != items {
+		t.Fatalf("decoded %d items into the table, want %d", n, items)
+	}
+}
+
+// TestPutBlobAutoFlushAtBlobBytes: the per-destination buffer ships as
+// soon as it reaches Options.BlobBytes.
+func TestPutBlobAutoFlushAtBlobBytes(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2, RanksPerNode: 1})
+	opt := intOpts()
+	opt.BlobBytes = 160 // 10 records
+	tab := New[uint64, int64](team, opt, sumMerge)
+	tab.SetBlobApply(func(src, owner int, payload []byte, put func(k uint64, v int64)) {
+		blobDecode(payload, put)
+	})
+	team.Run(func(r *xrt.Rank) {
+		if r.ID == 0 {
+			for i := 0; i < 100; i++ {
+				tab.PutBlob(r, 1, blobAppend(nil, uint64(i), 1), 1)
+			}
+			tab.Flush(r)
+		}
+		r.Barrier()
+	})
+	if got := team.AggStats().Msgs(); got != 10 {
+		t.Fatalf("sent %d messages, want 10 (100 records / 10 per buffer)", got)
+	}
+}
+
+func TestPutBlobWithoutHookPanics(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2})
+	tab := New[uint64, int64](team, intOpts(), sumMerge)
+	team.Run(func(r *xrt.Rank) {
+		if r.ID != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("PutBlob without SetBlobApply did not panic")
+			}
+		}()
+		tab.PutBlob(r, 1, blobAppend(nil, 1, 1), 1)
+	})
+}
+
+func TestFreezeSerialPanicsOnUndrainedBlobBuffer(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 2})
+	tab := New[uint64, int64](team, intOpts(), sumMerge)
+	tab.SetBlobApply(func(src, owner int, payload []byte, put func(k uint64, v int64)) {
+		blobDecode(payload, put)
+	})
+	team.Run(func(r *xrt.Rank) {
+		if r.ID == 0 {
+			tab.PutBlob(r, 1, blobAppend(nil, 7, 1), 1) // never flushed
+		}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("FreezeSerial with an undrained blob buffer did not panic")
+		}
+	}()
+	tab.FreezeSerial()
+}
+
+// TestOwnerHashPlacement: an OwnerHash decouples placement from the
+// stripe/cache hash — every operation must agree on the owner.
+func TestOwnerHashPlacement(t *testing.T) {
+	team := xrt.NewTeam(xrt.Config{Ranks: 6, RanksPerNode: 2})
+	opt := intOpts()
+	opt.OwnerHash = func(k uint64) uint64 { return k / 100 } // coarse bins
+	tab := New[uint64, int64](team, opt, sumMerge)
+	team.Run(func(r *xrt.Rank) {
+		for i := 0; i < 300; i++ {
+			tab.Put(r, uint64(i), 1)
+		}
+		tab.Flush(r)
+		r.Barrier()
+		for i := 0; i < 300; i++ {
+			v, ok := tab.Get(r, uint64(i))
+			if !ok || v != 6 {
+				t.Errorf("rank %d: key %d = (%d, %v), want (6, true)", r.ID, i, v, ok)
+			}
+		}
+		// keys in the same bin of 100 share an owner
+		for i := 0; i < 300; i += 100 {
+			base := tab.Owner(uint64(i))
+			for j := 1; j < 100; j++ {
+				if o := tab.Owner(uint64(i + j)); o != base {
+					t.Errorf("key %d owned by %d, bin owner %d", i+j, o, base)
+				}
+			}
+		}
+	})
+}

@@ -49,6 +49,15 @@ type Options[K comparable] struct {
 	Hash func(K) uint64
 	// Place overrides the owner computation; nil means hash % ranks.
 	Place PlaceFunc
+	// OwnerHash, when non-nil, supplies the hash fed to placement instead
+	// of Hash: the owner of a key is Place(OwnerHash(k)) (or OwnerHash(k)
+	// mod ranks). Hash keeps driving stripe selection and the read cache,
+	// so co-locating related keys — all k-mers sharing a minimizer, say —
+	// does not collapse them onto one stripe or cache slot. Every access
+	// path (Put, Get, Mutate, Delete, Lookup, Owner, and blob decode)
+	// places through it, so senders that route payloads by the same hash
+	// stay consistent with point lookups.
+	OwnerHash func(K) uint64
 	// ItemBytes approximates the wire size of one key+value, used for
 	// bandwidth charging. Defaults to 24.
 	ItemBytes int
@@ -72,6 +81,11 @@ type Options[K comparable] struct {
 	// xrt cache statistics; misses fill the slot (including negative
 	// entries for absent keys). 0 disables caching.
 	CacheSlots int
+	// BlobBytes is the flush threshold of the byte-payload store path
+	// (PutBlob): encoded records are buffered per destination rank and
+	// shipped as one message once the buffer reaches this many bytes.
+	// Defaults to 16384.
+	BlobBytes int
 }
 
 // ApplyFunc is an owner-side store handler: it runs under the owning
@@ -83,16 +97,30 @@ type Options[K comparable] struct {
 // a whole owner would race under concurrent flushes from different
 // ranks; key any auxiliary state by owner*Stripes()+stripe instead (a
 // key always maps to the same stripe, so per-stripe state partitions the
-// keys exactly — e.g. the Bloom filters of k-mer analysis).
-type ApplyFunc[K comparable, V any] func(owner, stripe int, k K, incoming V, shard map[K]V)
+// keys exactly — e.g. the Bloom filters of k-mer analysis). h is the
+// key's Options.Hash value, computed once on the store path and handed
+// through so handlers needing hash bits (Bloom probes, sketches) never
+// rehash the key.
+type ApplyFunc[K comparable, V any] func(owner, stripe int, h uint64, k K, incoming V, shard map[K]V)
+
+// BlobApplyFunc decodes one delivered byte payload at its owner: src and
+// owner identify the sending and owning ranks, payload is the
+// concatenation of records the sender framed with PutBlob, and put
+// applies one decoded item through the table's regular owner-side path
+// (stripe lock + apply hook / merge). The function runs on the sender's
+// goroutine against the owner's shard, exactly like an aggregated-store
+// flush, so it must not touch state outside the put callback unless that
+// state is safe under concurrent flushes.
+type BlobApplyFunc[K comparable, V any] func(src, owner int, payload []byte, put func(k K, v V))
 
 // Table is a distributed hash table of K→V with a user-supplied merge
 // function applied when a Put lands on an existing key.
 type Table[K comparable, V any] struct {
-	team  *xrt.Team
-	opt   Options[K]
-	merge func(old V, incoming V, exists bool) V
-	apply ApplyFunc[K, V] // overrides merge when non-nil
+	team      *xrt.Team
+	opt       Options[K]
+	merge     func(old V, incoming V, exists bool) V
+	apply     ApplyFunc[K, V]     // overrides merge when non-nil
+	blobApply BlobApplyFunc[K, V] // owner-side decoder for PutBlob payloads
 
 	stripeMask uint64
 	frozen     atomic.Bool
@@ -105,6 +133,10 @@ type Table[K comparable, V any] struct {
 // function for subsequent Put flushes. Must not be called while an SPMD
 // phase is mutating the table.
 func (t *Table[K, V]) SetApply(fn ApplyFunc[K, V]) { t.apply = fn }
+
+// SetBlobApply installs the owner-side decoder for PutBlob payloads. Must
+// not be called while an SPMD phase is mutating the table.
+func (t *Table[K, V]) SetBlobApply(fn BlobApplyFunc[K, V]) { t.blobApply = fn }
 
 // stripe is one lock-striped fragment of a shard. The padding keeps
 // neighbouring stripe locks off one cache line.
@@ -125,7 +157,9 @@ type kv[K comparable, V any] struct {
 }
 
 type localState[K comparable, V any] struct {
-	bufs [][]kv[K, V] // per destination rank
+	bufs      [][]kv[K, V] // per destination rank
+	blobBufs  [][]byte     // per destination rank: concatenated PutBlob records
+	blobItems []int        // logical item count buffered per destination
 }
 
 // remix decorrelates the stripe/cache index from the placement function:
@@ -161,6 +195,9 @@ func New[K comparable, V any](team *xrt.Team, opt Options[K],
 	if opt.AggBufSize <= 0 {
 		opt.AggBufSize = 512
 	}
+	if opt.BlobBytes <= 0 {
+		opt.BlobBytes = 16384
+	}
 	if opt.Stripes <= 0 {
 		opt.Stripes = 8
 	}
@@ -190,6 +227,8 @@ func New[K comparable, V any](team *xrt.Team, opt Options[K],
 	t.locals = make([]localState[K, V], p)
 	for i := range t.locals {
 		t.locals[i].bufs = make([][]kv[K, V], p)
+		t.locals[i].blobBufs = make([][]byte, p)
+		t.locals[i].blobItems = make([]int, p)
 	}
 	t.caches = make([]*readCache[K, V], p)
 	return t
@@ -201,6 +240,15 @@ func (t *Table[K, V]) ownerOf(h uint64) int {
 		return t.opt.Place(h)
 	}
 	return int(h % uint64(t.team.Config().Ranks))
+}
+
+// placeKey resolves the owner of key k whose Options.Hash value is h:
+// through OwnerHash when configured, through h otherwise.
+func (t *Table[K, V]) placeKey(k K, h uint64) int {
+	if t.opt.OwnerHash != nil {
+		return t.ownerOf(t.opt.OwnerHash(k))
+	}
+	return t.ownerOf(h)
 }
 
 // stripeIdx returns the stripe index of key hash h (identical for every
@@ -220,7 +268,7 @@ func (t *Table[K, V]) Stripes() int { return int(t.stripeMask) + 1 }
 
 // Owner returns the rank owning key k under the current placement.
 func (t *Table[K, V]) Owner(k K) int {
-	return t.ownerOf(t.opt.Hash(k))
+	return t.placeKey(k, t.opt.Hash(k))
 }
 
 // assertMutable panics when a write lands on a frozen table — the
@@ -315,6 +363,11 @@ func (t *Table[K, V]) FreezeSerial() {
 				panic("dht: FreezeSerial with undrained store buffers")
 			}
 		}
+		for _, buf := range t.locals[i].blobBufs {
+			if len(buf) > 0 {
+				panic("dht: FreezeSerial with undrained blob buffers")
+			}
+		}
 	}
 	if t.opt.CacheSlots > 0 {
 		for i := range t.caches {
@@ -341,9 +394,15 @@ func (t *Table[K, V]) ThawSerial() {
 // are guaranteed visible only after Flush + barrier, matching the
 // one-sided aggregating-stores semantics of the paper).
 func (t *Table[K, V]) Put(r *xrt.Rank, k K, v V) {
+	t.PutHashed(r, t.opt.Hash(k), k, v)
+}
+
+// PutHashed is Put with the key's Options.Hash value precomputed by the
+// caller (the hash-once path of scanning loops that already derived h for
+// sketching or screening). h must equal Options.Hash(k).
+func (t *Table[K, V]) PutHashed(r *xrt.Rank, h uint64, k K, v V) {
 	t.assertMutable("Put")
-	h := t.opt.Hash(k)
-	dst := t.ownerOf(h)
+	dst := t.placeKey(k, h)
 	if dst == r.ID {
 		// rank-local fast path: no buffering, no message — the paper's
 		// local store, charged as such
@@ -351,7 +410,7 @@ func (t *Table[K, V]) Put(r *xrt.Rank, k K, v V) {
 		si := t.stripeIdx(h)
 		st := &t.shards[dst].stripes[si]
 		st.mu.Lock()
-		t.applyOne(dst, si, k, v, st.m)
+		t.applyOne(dst, si, h, k, v, st.m)
 		st.mu.Unlock()
 		return
 	}
@@ -362,9 +421,37 @@ func (t *Table[K, V]) Put(r *xrt.Rank, k K, v V) {
 	}
 }
 
-func (t *Table[K, V]) applyOne(dst, stripe int, k K, v V, m map[K]V) {
+// PutBlob enqueues one pre-framed record — decodable by the table's
+// SetBlobApply hook — destined for rank dst, carrying items logical
+// items. Records accumulate per destination and ship as ONE message of
+// the buffered byte length once it reaches Options.BlobBytes (or at
+// Flush/Freeze): the super-k-mer transport, where an L-base record
+// carries L−k+1 k-mers for ~L/4 wire bytes instead of L−k+1 item
+// records. The charge goes through the same ChargeStoreBatch as
+// aggregated stores, so chaos/fault injection treats a dropped blob as
+// one retried unit and the receiver is charged per decoded item.
+//
+// The destination must be consistent with the table's placement (for a
+// minimizer-binned table, dst = the owner every record key places to via
+// OwnerHash); PutBlob cannot check this — the table only sees bytes —
+// and a mismatch would strand decoded items on a shard lookups never
+// search.
+func (t *Table[K, V]) PutBlob(r *xrt.Rank, dst int, record []byte, items int) {
+	t.assertMutable("PutBlob")
+	if t.blobApply == nil {
+		panic("dht: PutBlob without SetBlobApply")
+	}
+	ls := &t.locals[r.ID]
+	ls.blobBufs[dst] = append(ls.blobBufs[dst], record...)
+	ls.blobItems[dst] += items
+	if len(ls.blobBufs[dst]) >= t.opt.BlobBytes {
+		t.flushBlobTo(r, dst)
+	}
+}
+
+func (t *Table[K, V]) applyOne(dst, stripe int, h uint64, k K, v V, m map[K]V) {
 	if t.apply != nil {
-		t.apply(dst, stripe, k, v, m)
+		t.apply(dst, stripe, h, k, v, m)
 		return
 	}
 	old, exists := m[k]
@@ -386,17 +473,47 @@ func (t *Table[K, V]) flushTo(r *xrt.Rank, dst int) {
 		si := t.stripeIdx(e.h)
 		st := &t.shards[dst].stripes[si]
 		st.mu.Lock()
-		t.applyOne(dst, si, e.k, e.v, st.m)
+		t.applyOne(dst, si, e.h, e.k, e.v, st.m)
 		st.mu.Unlock()
 	}
 	ls.bufs[dst] = buf[:0]
 }
 
-// Flush drains all of the calling rank's store buffers. Callers normally
-// follow a collective Flush with a barrier before reading.
+// flushBlobTo ships one destination's buffered blob payload as a single
+// message and decodes it into the owner's shard through the blob apply
+// hook. The payload buffer is reused after the call: a hook that retains
+// bytes past its return must copy them.
+func (t *Table[K, V]) flushBlobTo(r *xrt.Rank, dst int) {
+	ls := &t.locals[r.ID]
+	buf := ls.blobBufs[dst]
+	if len(buf) == 0 {
+		return
+	}
+	t.assertMutable("Flush")
+	items := ls.blobItems[dst]
+	r.PerturbPoint(xrt.PerturbFlush)
+	r.ChargeStoreBatch(dst, items, len(buf))
+	t.blobApply(r.ID, dst, buf, func(k K, v V) {
+		h := t.opt.Hash(k)
+		si := t.stripeIdx(h)
+		st := &t.shards[dst].stripes[si]
+		st.mu.Lock()
+		t.applyOne(dst, si, h, k, v, st.m)
+		st.mu.Unlock()
+	})
+	ls.blobBufs[dst] = buf[:0]
+	ls.blobItems[dst] = 0
+}
+
+// Flush drains all of the calling rank's store buffers — item and blob
+// alike. Callers normally follow a collective Flush with a barrier before
+// reading.
 func (t *Table[K, V]) Flush(r *xrt.Rank) {
 	for dst := range t.locals[r.ID].bufs {
 		t.flushTo(r, dst)
+	}
+	for dst := range t.locals[r.ID].blobBufs {
+		t.flushBlobTo(r, dst)
 	}
 }
 
@@ -408,7 +525,7 @@ func (t *Table[K, V]) Flush(r *xrt.Rank) {
 // the rank).
 func (t *Table[K, V]) Get(r *xrt.Rank, k K) (V, bool) {
 	h := t.opt.Hash(k)
-	dst := t.ownerOf(h)
+	dst := t.placeKey(k, h)
 	if t.frozen.Load() {
 		c := t.caches[r.ID]
 		if c != nil && dst != r.ID {
@@ -442,7 +559,7 @@ func (t *Table[K, V]) Get(r *xrt.Rank, k K) (V, bool) {
 func (t *Table[K, V]) Mutate(r *xrt.Rank, k K, fn func(v V, exists bool) (V, bool)) {
 	t.assertMutable("Mutate")
 	h := t.opt.Hash(k)
-	dst := t.ownerOf(h)
+	dst := t.placeKey(k, h)
 	r.ChargeLookup(dst, t.opt.ItemBytes)
 	st := t.stripeFor(dst, h)
 	st.mu.Lock()
@@ -469,7 +586,7 @@ func (t *Table[K, V]) MutateRetry(r *xrt.Rank, k K, fn func(v V, exists bool) (V
 	// explicitly or it would spin forever on a dead victim's claim.
 	r.CheckFault()
 	h := t.opt.Hash(k)
-	st := t.stripeFor(t.ownerOf(h), h)
+	st := t.stripeFor(t.placeKey(k, h), h)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	old, exists := st.m[k]
@@ -482,7 +599,7 @@ func (t *Table[K, V]) MutateRetry(r *xrt.Rank, k K, fn func(v V, exists bool) (V
 func (t *Table[K, V]) Delete(r *xrt.Rank, k K) {
 	t.assertMutable("Delete")
 	h := t.opt.Hash(k)
-	dst := t.ownerOf(h)
+	dst := t.placeKey(k, h)
 	r.ChargeLookup(dst, t.opt.ItemBytes)
 	st := t.stripeFor(dst, h)
 	st.mu.Lock()
@@ -606,7 +723,7 @@ func (t *Table[K, V]) Len() int64 {
 // serial pipeline steps); no communication is charged.
 func (t *Table[K, V]) Lookup(k K) (V, bool) {
 	h := t.opt.Hash(k)
-	st := t.stripeFor(t.ownerOf(h), h)
+	st := t.stripeFor(t.placeKey(k, h), h)
 	if t.frozen.Load() {
 		v, ok := st.m[k]
 		return v, ok

@@ -86,8 +86,11 @@ func AblationAggStores(sc Scale) ([]AblationAggRow, string) {
 	for _, buf := range []int{1, 8, 64, 512, 4096} {
 		team := xrt.NewTeam(sc.teamCfg(p))
 		before := team.AggStats()
+		// Per-k-mer stores: super-k-mer blobs bypass the aggregation
+		// buffers this ablation sweeps.
 		res := kanalysis.Run(team, parts, kanalysis.Options{
 			K: sc.K, MinCount: 2, HeavyHitters: true, AggBufSize: buf,
+			DisableSuperKmers: true,
 		})
 		d := team.AggStats().Sub(before)
 		rows = append(rows, AblationAggRow{

@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchKanalysisShape runs the communication benchmark at tiny scale:
+// super-k-mers must beat the per-k-mer baseline on every row and both
+// paths must keep identical tables. (The >=5x/>=3x exhibit gate needs the
+// bench-sized dataset and is enforced by cmd/benchsuite, not here.)
+func TestBenchKanalysisShape(t *testing.T) {
+	skipIfShort(t)
+	sc := tinyScale()
+	sc.BenchHumanLen = 60000
+	art, text := BenchKanalysis(sc)
+	if !strings.Contains(text, "BENCH") {
+		t.Error("missing report title")
+	}
+	if want := 2 * len(sc.Cores); len(art.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(art.Rows), want)
+	}
+	for _, r := range art.Rows {
+		if r.Kept != r.BaseKept {
+			t.Errorf("%s@%d: kept %d != baseline %d", r.Dataset, r.Cores, r.Kept, r.BaseKept)
+		}
+		if r.MsgRatio() <= 1 {
+			t.Errorf("%s@%d: message ratio %.2f not > 1", r.Dataset, r.Cores, r.MsgRatio())
+		}
+		if r.ByteRatio() <= 1 {
+			t.Errorf("%s@%d: byte ratio %.2f not > 1", r.Dataset, r.Cores, r.ByteRatio())
+		}
+		if r.SuperKmers == 0 || r.SuperKmerBases == 0 || r.CommBytesSaved <= 0 {
+			t.Errorf("%s@%d: super-k-mer counters not populated: %+v", r.Dataset, r.Cores, r)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(art.Rows) || back.Schema != BenchSchema {
+		t.Fatalf("artifact did not round-trip: %+v", back)
+	}
+	if err := CompareBenchArtifacts(back, art, 10); err != nil {
+		t.Errorf("self-comparison failed: %v", err)
+	}
+}
+
+func TestCompareBenchArtifactsCatchesRegression(t *testing.T) {
+	base := &BenchArtifact{Schema: BenchSchema, Rows: []BenchRow{
+		{Dataset: "human", Cores: 192, Msgs: 1000, BaseMsgs: 6000},
+	}}
+	ok := &BenchArtifact{Schema: BenchSchema, Rows: []BenchRow{
+		{Dataset: "human", Cores: 192, Msgs: 1099, BaseMsgs: 6000},
+	}}
+	if err := CompareBenchArtifacts(base, ok, 10); err != nil {
+		t.Errorf("within-tolerance comparison failed: %v", err)
+	}
+	bad := &BenchArtifact{Schema: BenchSchema, Rows: []BenchRow{
+		{Dataset: "human", Cores: 192, Msgs: 1101, BaseMsgs: 6000},
+	}}
+	if err := CompareBenchArtifacts(base, bad, 10); err == nil {
+		t.Error("regression beyond tolerance not caught")
+	}
+	// rows missing from the current artifact are not a failure
+	if err := CompareBenchArtifacts(base, &BenchArtifact{Schema: BenchSchema}, 10); err != nil {
+		t.Errorf("missing rows treated as regression: %v", err)
+	}
+}
+
+func TestBenchArtifactGate(t *testing.T) {
+	good := &BenchArtifact{Schema: BenchSchema, Rows: []BenchRow{
+		{Dataset: "human", Cores: 96, Msgs: 5000, BaseMsgs: 6000, Bytes: 10, BaseBytes: 10, Kept: 5, BaseKept: 5},
+		{Dataset: "human", Cores: 192, Msgs: 1000, BaseMsgs: 6000, Bytes: 100, BaseBytes: 400, Kept: 5, BaseKept: 5},
+	}}
+	if err := good.Gate(); err != nil {
+		t.Errorf("gate rejected a passing artifact: %v", err)
+	}
+	weak := &BenchArtifact{Schema: BenchSchema, Rows: []BenchRow{
+		{Dataset: "human", Cores: 192, Msgs: 2000, BaseMsgs: 6000, Bytes: 100, BaseBytes: 400, Kept: 5, BaseKept: 5},
+	}}
+	if err := weak.Gate(); err == nil {
+		t.Error("gate accepted a 3x message drop (needs 5x)")
+	}
+	mismatch := &BenchArtifact{Schema: BenchSchema, Rows: []BenchRow{
+		{Dataset: "human", Cores: 192, Msgs: 1000, BaseMsgs: 6000, Bytes: 100, BaseBytes: 400, Kept: 5, BaseKept: 6},
+	}}
+	if err := mismatch.Gate(); err == nil {
+		t.Error("gate accepted mismatched table sizes")
+	}
+	if err := (&BenchArtifact{Schema: BenchSchema}).Gate(); err == nil {
+		t.Error("gate accepted an artifact with no human rows")
+	}
+}

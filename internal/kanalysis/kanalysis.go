@@ -5,14 +5,28 @@
 // are mergeable, so the pass is embarrassingly parallel. A second pass
 // inserts k-mers into owner-side Bloom filters (one per lock stripe of
 // each owner's shard) so that only k-mers seen at least twice enter the
-// distributed hash table (the 85% memory saving of the paper). A third pass counts every occurrence and accumulates
-// quality-filtered extension evidence. Heavy hitters bypass the
-// owner-computes path: they are accumulated locally and combined in a
-// final global reduction, eliminating the receiver-side load imbalance
-// repetitive genomes otherwise cause.
+// distributed hash table (the 85% memory saving of the paper). A third
+// pass counts every occurrence and accumulates quality-filtered extension
+// evidence. Heavy hitters bypass the owner-computes path: they are
+// accumulated locally and combined in a final global reduction,
+// eliminating the receiver-side load imbalance repetitive genomes
+// otherwise cause.
+//
+// By default the communication runs over minimizer-binned super-k-mers
+// (minimum substring partitioning, after MSPKmerCounter): each read is
+// segmented into maximal runs of k-mer windows sharing one canonical
+// minimizer, each run travels to the minimizer's owner as one 2-bit
+// packed record (~1.6 wire bytes per k-mer instead of a ~26-byte store
+// item), and — because a k-mer's owner is a function of its minimizer —
+// the Bloom pass's payload already contains every occurrence the owner
+// will ever need, so the count pass replays the retained payloads locally
+// instead of re-shipping the stream. Options.DisableSuperKmers restores
+// the per-k-mer aggregated-store transport as an ablation baseline.
 package kanalysis
 
 import (
+	"sync"
+
 	"hipmer/internal/bloom"
 	"hipmer/internal/dht"
 	"hipmer/internal/fastq"
@@ -21,6 +35,11 @@ import (
 	"hipmer/internal/mg"
 	"hipmer/internal/xrt"
 )
+
+// kmerItemBytes is the wire size of one per-item store record (packed
+// k-mer + count/extension payload), the unit the super-k-mer transport's
+// savings are measured against.
+const kmerItemBytes = 16 + 10
 
 // Options configures k-mer analysis.
 type Options struct {
@@ -49,6 +68,15 @@ type Options struct {
 	// sighting, the behaviour the Bloom filters exist to avoid; used by
 	// the memory ablation that reproduces the paper's "up to 85%" saving.
 	DisableBloom bool
+	// MinimizerLen is the canonical-minimizer length m of the super-k-mer
+	// transport. 0 picks the default (kmer.DefaultMinimizerLen); any value
+	// is clamped odd, below K, and to at most kmer.MaxMinimizerLen.
+	// Ignored when DisableSuperKmers is set.
+	MinimizerLen int
+	// DisableSuperKmers reverts stage-1 communication to one aggregated
+	// store item per k-mer occurrence with hash placement — the ablation
+	// baseline the benchsuite reports as "SuperKmers off".
+	DisableSuperKmers bool
 	// AggBufSize overrides the aggregating-stores buffer size (0 = default).
 	AggBufSize int
 	// CacheSlots sizes the per-rank software cache in front of remote
@@ -85,6 +113,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// EffectiveMinimizerLen resolves the minimizer length stage 1 uses for
+// table placement: 0 when the super-k-mer transport is disabled (classic
+// hash placement), the clamped scanner length otherwise. Exported so
+// checkpoint codecs and the pipeline derive placement-identical tables.
+func EffectiveMinimizerLen(k, minimizerLen int, disableSuperKmers bool) int {
+	if disableSuperKmers {
+		return 0
+	}
+	if k <= 0 {
+		k = 31
+	}
+	return kmer.ClampMinimizerLen(k, minimizerLen)
+}
+
 // KmerData is the value stored per canonical k-mer: its exact count and
 // the quality-filtered extension evidence for both directions, plus the
 // finalized extension codes.
@@ -116,19 +158,30 @@ func (d KmerData) IsUU() bool {
 // and caches identically to a freshly analyzed one. expectedItems
 // pre-sizes the stripe maps (0 = no pre-sizing); cacheSlots follows
 // Options.CacheSlots conventions (0 = default 4096, negative = off).
-func NewTable(team *xrt.Team, expectedItems int64, aggBufSize, cacheSlots int) *dht.Table[kmer.Kmer, KmerData] {
+// minimizerLen > 0 selects minimizer placement — the owner of a k-mer is
+// the owner of its length-minimizerLen canonical minimizer, so point
+// lookups land on the shard the super-k-mer transport filled — and 0
+// selects classic hash placement (the per-k-mer ablation and pre-existing
+// checkpoints).
+func NewTable(team *xrt.Team, expectedItems int64, aggBufSize, cacheSlots, k, minimizerLen int) *dht.Table[kmer.Kmer, KmerData] {
 	if cacheSlots == 0 {
 		cacheSlots = 4096
 	} else if cacheSlots < 0 {
 		cacheSlots = 0
 	}
-	return dht.New[kmer.Kmer, KmerData](team, dht.Options[kmer.Kmer]{
+	opt := dht.Options[kmer.Kmer]{
 		Hash:          func(km kmer.Kmer) uint64 { return km.Hash(0xc0ffee) },
-		ItemBytes:     16 + 10,
+		ItemBytes:     kmerItemBytes,
 		AggBufSize:    aggBufSize,
 		ExpectedItems: expectedItems,
 		CacheSlots:    cacheSlots,
-	}, nil)
+	}
+	if minimizerLen > 0 {
+		opt.OwnerHash = func(km kmer.Kmer) uint64 {
+			return kmer.MinimizerHash(km.Minimizer(k, minimizerLen))
+		}
+	}
+	return dht.New[kmer.Kmer, KmerData](team, opt, nil)
 }
 
 // Result carries the outputs of k-mer analysis.
@@ -150,6 +203,14 @@ type Result struct {
 	PeakEntries int64
 	// TotalKmers is the number of k-mer occurrences processed.
 	TotalKmers int64
+	// SuperKmers is the number of super-k-mer records the minimizer
+	// transport shipped (0 on the per-k-mer ablation path).
+	SuperKmers int64
+	// SuperKmerBases is the total run length in bases those records carry.
+	SuperKmerBases int64
+	// CommBytesSaved is the wire volume the super-k-mer transport avoided
+	// versus shipping each of its windows as a per-item store record.
+	CommBytesSaved int64
 	// Phase virtual durations.
 	SketchPhase, BloomPhase, CountPhase xrt.PhaseStats
 }
@@ -162,30 +223,39 @@ type occurrence struct {
 	right uint8
 }
 
-const noExt = 4
+const noExt = uint8(kmer.ExtAbsent)
+
+// occurrenceAt builds the occurrence of the k-mer window at pos of seq,
+// already canonicalized as (canon, flipped): flanking bases contribute
+// extension evidence when present, ACGT, and above the quality threshold,
+// and flipping swaps and complements the two ends.
+func occurrenceAt(seq, qual []byte, pos, k, qualThresh int, canon kmer.Kmer, flipped bool) occurrence {
+	left, right := noExt, noExt
+	if pos > 0 && int(qual[pos-1])-33 >= qualThresh {
+		if c, ok := kmer.BaseCode(seq[pos-1]); ok {
+			left = uint8(c)
+		}
+	}
+	if e := pos + k; e < len(seq) && int(qual[e])-33 >= qualThresh {
+		if c, ok := kmer.BaseCode(seq[e]); ok {
+			right = uint8(c)
+		}
+	}
+	if flipped {
+		// the canonical orientation sees complemented, swapped ends
+		left, right = comp(right), comp(left)
+	}
+	return occurrence{km: canon, left: left, right: right}
+}
 
 // forEachOccurrence canonicalizes every k-mer of rec and reports oriented
-// extensions. Reads shorter than k or windows containing N are skipped.
-func forEachOccurrence(rec fastq.Record, k, qualThresh int, fn func(o occurrence)) {
+// extensions plus the canonical table hash, computed once per window.
+// Reads shorter than k or windows containing N are skipped.
+func forEachOccurrence(rec fastq.Record, k, qualThresh int, fn func(o occurrence, h uint64)) {
 	seq, qual := rec.Seq, rec.Qual
 	kmer.ForEach(seq, k, func(pos int, km kmer.Kmer) {
-		left, right := uint8(noExt), uint8(noExt)
-		if pos > 0 && int(qual[pos-1])-33 >= qualThresh {
-			if c, ok := kmer.BaseCode(seq[pos-1]); ok {
-				left = uint8(c)
-			}
-		}
-		if e := pos + k; e < len(seq) && int(qual[e])-33 >= qualThresh {
-			if c, ok := kmer.BaseCode(seq[e]); ok {
-				right = uint8(c)
-			}
-		}
 		canon, flipped := km.Canonical(k)
-		if flipped {
-			// the canonical orientation sees complemented, swapped ends
-			left, right = comp(right), comp(left)
-		}
-		fn(occurrence{km: canon, left: left, right: right})
+		fn(occurrenceAt(seq, qual, pos, k, qualThresh, canon, flipped), canon.Hash(0xc0ffee))
 	})
 }
 
@@ -208,6 +278,80 @@ func (o occurrence) delta() KmerData {
 	return d
 }
 
+// forEachSuperKmer segments one read into encoded super-k-mer records:
+// every maximal minimizer run becomes one record (split around heavy-
+// hitter windows, which are reported to onHH instead of shipped — their
+// occurrences take the local-accumulation path, and splitting keeps them
+// out of the retained payloads the count pass replays). emit receives the
+// run's minimizer, its encoded record, and its window count; the record
+// aliases *scratch and must be consumed (copied or buffered) before the
+// next emission. Returns the total number of k-mer windows visited —
+// identical to the forEachOccurrence count. When hh is empty the per-
+// window canonicalization is skipped entirely and each run is encoded
+// straight from the read.
+func forEachSuperKmer(rec fastq.Record, k, m, qualThresh int, hh map[kmer.Kmer]bool,
+	onHH func(o occurrence),
+	emit func(minimizer uint64, record []byte, nwin int),
+	scratch *[]byte) int {
+	seq, qual := rec.Seq, rec.Qual
+	windows := 0
+	kmer.ScanSuperKmers(seq, k, m, func(start, nwin int, minv uint64) {
+		windows += nwin
+		emitSeg := func(ws, we int) {
+			if we <= ws {
+				return
+			}
+			if out, ok := kmer.AppendSuperKmer((*scratch)[:0], seq, qual, start+ws, (we-ws)+k-1, qualThresh); ok {
+				*scratch = out
+				emit(minv, out, we-ws)
+			}
+		}
+		if len(hh) == 0 {
+			emitSeg(0, nwin)
+			return
+		}
+		fw, _ := kmer.Pack(seq[start:], k)
+		seg := 0
+		for i := 0; i < nwin; i++ {
+			if i > 0 {
+				c, _ := kmer.BaseCode(seq[start+i+k-1])
+				fw = fw.NextRight(k, c)
+			}
+			canon, flipped := fw.Canonical(k)
+			if hh[canon] {
+				if onHH != nil {
+					onHH(occurrenceAt(seq, qual, start+i, k, qualThresh, canon, flipped))
+				}
+				emitSeg(seg, i)
+				seg = i + 1
+			}
+		}
+		emitSeg(seg, nwin)
+	})
+	return windows
+}
+
+// retainedBlob accumulates the super-k-mer payloads delivered to one
+// owner during the Bloom pass, for local replay in the count pass.
+// Senders append concurrently (a blob flush runs on the sender's
+// goroutine), hence the mutex.
+type retainedBlob struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// mix64 derives the second Bloom probe from the canonical table hash, so
+// screening costs zero extra key hashes (the double-hashing scheme only
+// needs two decorrelated 64-bit values).
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // Run executes k-mer analysis. readsByRank[i] is the slice of reads rank i
 // obtained from the parallel FASTQ reader. The returned table's entries
 // are complete and extension-finalized after Run returns.
@@ -215,6 +359,8 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	opt = opt.withDefaults()
 	p := team.Config().Ranks
 	res := &Result{}
+	superk := !opt.DisableSuperKmers
+	minLen := EffectiveMinimizerLen(opt.K, opt.MinimizerLen, opt.DisableSuperKmers)
 
 	// --- pass 1: cardinality + heavy-hitter sketches (free I/O-wise) ----
 	sketches := make([]*hll.Sketch, p)
@@ -227,8 +373,8 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 		sm := mg.New[kmer.Kmer](opt.Theta)
 		n := 0
 		for _, rec := range readsByRank[r.ID] {
-			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence) {
-				sk.Add(o.km.Hash(0x5eed))
+			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence, h uint64) {
+				sk.Add(h)
 				if opt.HeavyHitters {
 					sm.Offer(o.km)
 				}
@@ -272,12 +418,15 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 		}
 	}
 	res.HeavyHitters = len(hhSet)
+	// The hhSet probe costs a map lookup per occurrence; skip it wholesale
+	// when heavy hitters are off or none were identified.
+	probeHH := len(hhSet) > 0
 
 	// The HyperLogLog estimate pre-sizes the stripe maps: construction
 	// then never rehashes incrementally. The estimate counts every
 	// distinct k-mer including single-occurrence errors the Bloom screen
 	// rejects, so it is a safe upper bound on the final entry count.
-	table := NewTable(team, int64(res.DistinctEstimate), opt.AggBufSize, opt.CacheSlots)
+	table := NewTable(team, int64(res.DistinctEstimate), opt.AggBufSize, opt.CacheSlots, opt.K, minLen)
 	res.Table = table
 
 	// --- per-(owner, stripe) Bloom filters -----------------------------
@@ -293,36 +442,94 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 
 	// pass 2: Bloom screening — the second sighting of a k-mer promotes it
 	// into the table; single-occurrence (erroneous) k-mers never enter.
-	table.SetApply(func(owner, stripe int, k kmer.Kmer, _ KmerData, shard map[kmer.Kmer]KmerData) {
+	// Both Bloom probes derive from the canonical table hash the store
+	// path already computed (hash-once).
+	table.SetApply(func(owner, stripe int, h uint64, k kmer.Kmer, _ KmerData, shard map[kmer.Kmer]KmerData) {
 		if _, ok := shard[k]; ok {
 			return
 		}
 		b := blooms[owner*stripes+stripe]
-		if opt.DisableBloom || b.Add(k.Hash(0xb100), k.Hash(0xb101)) {
+		if opt.DisableBloom || b.Add(h, mix64(h)) {
 			shard[k] = KmerData{}
 		}
 	})
+
+	// Per-rank super-k-mer transport statistics (summed deterministically
+	// after the phase) and the payloads each owner retains for replay.
+	skRecords := make([]int64, p)
+	skBases := make([]int64, p)
+	skSaved := make([]int64, p)
+	retained := make([]retainedBlob, p)
+
 	team.BeginSpan("bloom-screen")
-	res.BloomPhase = team.Run(func(r *xrt.Rank) {
-		n := 0
-		for _, rec := range readsByRank[r.ID] {
-			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence) {
-				n++
-				if hhSet[o.km] {
-					return
+	if superk {
+		// Owner-side decode: canonicalize each window and drive it through
+		// the stripe-locked apply hook; the raw payload is retained (copied
+		// — the flush buffer is reused) for the count pass's local replay.
+		table.SetBlobApply(func(src, owner int, payload []byte, put func(k kmer.Kmer, v KmerData)) {
+			rb := &retained[owner]
+			rb.mu.Lock()
+			rb.buf = append(rb.buf, payload...)
+			rb.mu.Unlock()
+			if _, err := kmer.DecodeSuperKmers(payload, opt.K, func(km kmer.Kmer, _, _ uint8) {
+				canon, _ := km.Canonical(opt.K)
+				put(canon, KmerData{})
+			}); err != nil {
+				panic("kanalysis: corrupt super-k-mer payload: " + err.Error())
+			}
+		})
+		res.BloomPhase = team.Run(func(r *xrt.Rank) {
+			local := make(map[kmer.Kmer]*KmerData, len(hhSet))
+			onHH := func(o occurrence) {
+				d, ok := local[o.km]
+				if !ok {
+					d = &KmerData{}
+					local[o.km] = d
 				}
-				table.Put(r, o.km, KmerData{})
-			})
-		}
-		r.ChargeItems(n)
-		table.Flush(r)
-		r.Barrier()
-	})
+				delta := o.delta()
+				d.merge(delta)
+			}
+			var scratch []byte
+			n := 0
+			for _, rec := range readsByRank[r.ID] {
+				n += forEachSuperKmer(rec, opt.K, minLen, opt.QualThreshold, hhSet, onHH,
+					func(minv uint64, record []byte, nwin int) {
+						dst := int(kmer.MinimizerHash(minv) % uint64(p))
+						skRecords[r.ID]++
+						skBases[r.ID] += int64(nwin + opt.K - 1)
+						skSaved[r.ID] += int64(nwin*kmerItemBytes - len(record))
+						table.PutBlob(r, dst, record, nwin)
+					}, &scratch)
+			}
+			r.ChargeItems(n)
+			table.Flush(r)
+			hhSets[r.ID] = local
+			r.Barrier()
+		})
+	} else {
+		res.BloomPhase = team.Run(func(r *xrt.Rank) {
+			n := 0
+			for _, rec := range readsByRank[r.ID] {
+				forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence, h uint64) {
+					n++
+					if probeHH && hhSet[o.km] {
+						return
+					}
+					table.PutHashed(r, h, o.km, KmerData{})
+				})
+			}
+			r.ChargeItems(n)
+			table.Flush(r)
+			r.Barrier()
+		})
+	}
 	team.EndSpan()
 
 	// pass 3: exact counting with extension evidence. Heavy hitters are
-	// accumulated rank-locally; everything else goes to its owner.
-	table.SetApply(func(_, _ int, k kmer.Kmer, in KmerData, shard map[kmer.Kmer]KmerData) {
+	// accumulated rank-locally; everything else goes to its owner — on the
+	// super-k-mer path it already did, so the owner replays its retained
+	// payloads without any further communication.
+	table.SetApply(func(_, _ int, _ uint64, k kmer.Kmer, in KmerData, shard map[kmer.Kmer]KmerData) {
 		if d, ok := shard[k]; ok {
 			d.merge(in)
 			shard[k] = d
@@ -333,27 +540,49 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	// through the hh_* counters below.
 	team.BeginSpan("count")
 	res.CountPhase = team.Run(func(r *xrt.Rank) {
-		local := make(map[kmer.Kmer]*KmerData, len(hhSet))
-		n := 0
-		for _, rec := range readsByRank[r.ID] {
-			forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence) {
-				n++
-				if hhSet[o.km] {
-					d, ok := local[o.km]
-					if !ok {
-						d = &KmerData{}
-						local[o.km] = d
-					}
-					delta := o.delta()
-					d.merge(delta)
-					return
+		if superk {
+			// Replay the payloads this rank received in the Bloom pass:
+			// minimizer placement guarantees they are exactly the non-heavy
+			// occurrences it owns, so counting is communication-free. Puts
+			// take the rank-local fast path (charged as local stores); the
+			// decode itself is charged per window like a scan.
+			rb := &retained[r.ID]
+			wins, err := kmer.DecodeSuperKmers(rb.buf, opt.K, func(km kmer.Kmer, left, right uint8) {
+				canon, flipped := km.Canonical(opt.K)
+				if flipped {
+					left, right = comp(right), comp(left)
 				}
-				table.Put(r, o.km, o.delta())
+				o := occurrence{km: canon, left: left, right: right}
+				table.Put(r, canon, o.delta())
 			})
+			if err != nil {
+				panic("kanalysis: corrupt retained super-k-mer payload: " + err.Error())
+			}
+			rb.buf = nil
+			r.ChargeItems(wins)
+		} else {
+			local := make(map[kmer.Kmer]*KmerData, len(hhSet))
+			n := 0
+			for _, rec := range readsByRank[r.ID] {
+				forEachOccurrence(rec, opt.K, opt.QualThreshold, func(o occurrence, h uint64) {
+					n++
+					if probeHH && hhSet[o.km] {
+						d, ok := local[o.km]
+						if !ok {
+							d = &KmerData{}
+							local[o.km] = d
+						}
+						delta := o.delta()
+						d.merge(delta)
+						return
+					}
+					table.PutHashed(r, h, o.km, o.delta())
+				})
+			}
+			r.ChargeItems(n)
+			hhSets[r.ID] = local
 		}
-		r.ChargeItems(n)
 		table.Flush(r)
-		hhSets[r.ID] = local
 		r.Barrier()
 
 		// global reduction of the heavy-hitter accumulators: every rank
@@ -406,6 +635,13 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	})
 	team.EndSpan()
 	table.SetApply(nil)
+	table.SetBlobApply(nil)
+
+	for i := 0; i < p; i++ {
+		res.SuperKmers += skRecords[i]
+		res.SuperKmerBases += skBases[i]
+		res.CommBytesSaved += skSaved[i]
+	}
 
 	// Stage counters land on the enclosing "kmer-analysis" span (no-ops
 	// when the stage is driven directly without a span).
@@ -414,6 +650,9 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	team.AddCounter("heavy_hitters", int64(res.HeavyHitters))
 	team.AddCounter("peak_entries", res.PeakEntries)
 	team.AddCounter("kept", res.Kept)
+	team.AddCounter("superkmers", res.SuperKmers)
+	team.AddCounter("superkmer_bases", res.SuperKmerBases)
+	team.AddCounter("comm_bytes_saved", res.CommBytesSaved)
 	return res
 }
 

@@ -1,0 +1,150 @@
+package kanalysis
+
+import (
+	"testing"
+
+	"hipmer/internal/genome"
+	"hipmer/internal/kmer"
+	"hipmer/internal/xrt"
+)
+
+// TestSuperKmerEquivalence: the minimizer super-k-mer transport is a
+// communication optimization — the resulting k-mer table (counts and
+// extension codes) must be identical to the per-k-mer path's, with and
+// without heavy hitters in play.
+func TestSuperKmerEquivalence(t *testing.T) {
+	const k = 21
+	rng := xrt.NewPrng(4)
+	g := genome.WheatLike(rng, 60000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 12,
+		Lib:      genome.Library{Name: "w", ReadLen: 100, InsertMean: 280, InsertSD: 15},
+		Err:      genome.DefaultErrorModel(),
+	})
+	collect := func(disable, hh bool) (map[kmer.Kmer]KmerData, *Result) {
+		team := xrt.NewTeam(xrt.Config{Ranks: 7, RanksPerNode: 3})
+		res := Run(team, splitReads(recs, 7), Options{
+			K: k, MinCount: 2, HeavyHitters: hh, Theta: 2000, HHMinCount: 200,
+			DisableSuperKmers: disable,
+		})
+		m := make(map[kmer.Kmer]KmerData)
+		res.Table.RangeAll(func(km kmer.Kmer, d KmerData) bool { m[km] = d; return true })
+		return m, res
+	}
+	for _, hh := range []bool{false, true} {
+		base, _ := collect(true, hh)
+		sk, skRes := collect(false, hh)
+		if skRes.SuperKmers == 0 {
+			t.Fatal("super-k-mer path shipped no super-k-mers")
+		}
+		if hh && skRes.HeavyHitters == 0 {
+			t.Fatal("wheat-like data produced no heavy hitters")
+		}
+		if len(base) != len(sk) {
+			t.Fatalf("hh=%v: table sizes differ: %d (per-k-mer) vs %d (super-k-mer)",
+				hh, len(base), len(sk))
+		}
+		for km, d := range base {
+			if sk[km] != d {
+				t.Fatalf("hh=%v: k-mer %s differs: %+v (per-k-mer) vs %+v (super-k-mer)",
+					hh, km.String(k), d, sk[km])
+			}
+		}
+	}
+}
+
+// TestSuperKmersReduceCommunication: on identical inputs the super-k-mer
+// transport must ship both fewer stage-1 messages and fewer bytes than
+// per-k-mer aggregated stores, and the saved-bytes counter must cover
+// the measured gap.
+func TestSuperKmersReduceCommunication(t *testing.T) {
+	const k = 31
+	rng := xrt.NewPrng(6)
+	g := genome.HumanLike(rng, 120000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 12,
+		Lib:      genome.Library{Name: "h", ReadLen: 101, InsertMean: 300, InsertSD: 20},
+		Err:      genome.DefaultErrorModel(),
+	})
+	const p = 8
+	measure := func(disable bool) (xrt.CommStats, *Result) {
+		team := xrt.NewTeam(xrt.Config{Ranks: p, RanksPerNode: 4})
+		before := team.AggStats()
+		res := Run(team, splitReads(recs, p), Options{
+			K: k, MinCount: 2, HeavyHitters: true, DisableSuperKmers: disable,
+		})
+		return team.AggStats().Sub(before), res
+	}
+	base, _ := measure(true)
+	sk, skRes := measure(false)
+	if sk.Bytes() >= base.Bytes() {
+		t.Fatalf("super-k-mers did not cut bytes: %d vs %d", sk.Bytes(), base.Bytes())
+	}
+	if sk.Msgs() >= base.Msgs() {
+		t.Fatalf("super-k-mers did not cut messages: %d vs %d", sk.Msgs(), base.Msgs())
+	}
+	if skRes.CommBytesSaved <= 0 {
+		t.Fatal("CommBytesSaved not accounted")
+	}
+	if skRes.SuperKmerBases <= skRes.SuperKmers {
+		t.Fatalf("SuperKmerBases %d inconsistent with %d records",
+			skRes.SuperKmerBases, skRes.SuperKmers)
+	}
+	avgRun := float64(skRes.SuperKmerBases) / float64(skRes.SuperKmers)
+	if avgRun < float64(k)+1 {
+		t.Errorf("average super-k-mer run %.1f bases barely exceeds k=%d — binning is not compressing", avgRun, k)
+	}
+}
+
+// TestSuperKmerMinimizerLenOverride: a custom minimizer length flows
+// through and still produces the same table.
+func TestSuperKmerMinimizerLenOverride(t *testing.T) {
+	const k = 21
+	rng := xrt.NewPrng(7)
+	g := genome.Random(rng, 20000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 8,
+		Lib:      genome.Library{Name: "r", ReadLen: 80, InsertMean: 250, InsertSD: 15},
+	})
+	collect := func(mlen int) map[kmer.Kmer]KmerData {
+		team := xrt.NewTeam(xrt.Config{Ranks: 5})
+		res := Run(team, splitReads(recs, 5), Options{
+			K: k, MinCount: 2, MinimizerLen: mlen,
+		})
+		m := make(map[kmer.Kmer]KmerData)
+		res.Table.RangeAll(func(km kmer.Kmer, d KmerData) bool { m[km] = d; return true })
+		return m
+	}
+	ref := collect(0)
+	for _, mlen := range []int{5, 7, 11} {
+		got := collect(mlen)
+		if len(got) != len(ref) {
+			t.Fatalf("m=%d: table size %d, want %d", mlen, len(got), len(ref))
+		}
+		for km, d := range ref {
+			if got[km] != d {
+				t.Fatalf("m=%d: k-mer data differs", mlen)
+			}
+		}
+	}
+}
+
+func TestEffectiveMinimizerLen(t *testing.T) {
+	cases := []struct {
+		k, m    int
+		disable bool
+		want    int
+	}{
+		{31, 0, false, kmer.DefaultMinimizerLen},
+		{31, 7, false, 7},
+		{31, 0, true, 0},
+		{31, 9, true, 0},
+		{5, 0, false, 3},
+	}
+	for _, c := range cases {
+		if got := EffectiveMinimizerLen(c.k, c.m, c.disable); got != c.want {
+			t.Errorf("EffectiveMinimizerLen(%d, %d, %v) = %d, want %d",
+				c.k, c.m, c.disable, got, c.want)
+		}
+	}
+}

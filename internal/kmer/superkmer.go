@@ -1,0 +1,206 @@
+// Super-k-mer wire codec.
+//
+// One record carries a run of L bases covering L−k+1 overlapping k-mers
+// plus the extension evidence k-mer analysis needs from the enclosing
+// read: the bases immediately flanking the run and a per-position quality
+// bit. The frame is deterministic little-endian, decoded by a sticky-error
+// reader in the style of internal/ckpt (which this package cannot import
+// without a cycle):
+//
+//	u16  L      run length in bases (k ≤ L ≤ 65535)
+//	u8   flags  bit0 hasLead, bit1 hasTrail,
+//	            bits2-3 lead base code, bits4-5 trail base code
+//	[..] mask   ceil((L+2)/8) bytes, LSB-first: bit 0 = lead neighbor,
+//	            bits 1..L = the run's bases, bit L+1 = trail neighbor;
+//	            a set bit means "extension-quality position"
+//	[..] bases  ceil(L/4) bytes, 2-bit codes, MSB-first within each byte
+//
+// A 13-window run (L = k+12) costs ~3 + (L+2+7)/8 + (L+3)/4 bytes —
+// roughly 1.6 bytes per k-mer occurrence versus the ~26-byte per-item
+// store record, which is where the stage-1 communication drop comes from.
+package kmer
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ExtAbsent is the left/right neighbor code DecodeSuperKmers reports when a
+// window has no usable extension evidence on that side (run boundary with
+// no flanking base, or a flanking base below the quality threshold).
+// Concrete evidence is a 2-bit base code 0..3.
+const ExtAbsent uint8 = 4
+
+// MaxSuperKmerBases is the longest run one record can frame.
+const MaxSuperKmerBases = 1<<16 - 1
+
+// ErrBadSuperKmer reports a malformed super-k-mer payload.
+var ErrBadSuperKmer = errors.New("kmer: malformed super-k-mer payload")
+
+const (
+	skFlagLead  = 1 << 0
+	skFlagTrail = 1 << 1
+)
+
+// SuperKmerRecordBytes returns the encoded size of a record covering L
+// bases.
+func SuperKmerRecordBytes(L int) int { return 3 + (L+2+7)/8 + (L+3)/4 }
+
+// AppendSuperKmer appends one encoded record covering seq[start:start+L] to
+// dst and returns the extended slice. Flanking bases at start−1 and
+// start+L are captured as lead/trail evidence when present and ACGT. The
+// quality mask records, for the lead, each run base, and the trail,
+// whether qual at that position clears qualThresh (Phred+33, same
+// convention as k-mer analysis). ok is false — and dst is returned
+// unchanged — if the window is out of range, longer than
+// MaxSuperKmerBases, or contains a non-ACGT base.
+func AppendSuperKmer(dst []byte, seq, qual []byte, start, L, qualThresh int) (out []byte, ok bool) {
+	if L < 1 || L > MaxSuperKmerBases || start < 0 || start+L > len(seq) {
+		return dst, false
+	}
+	qualAt := func(p int) bool {
+		return p < len(qual) && int(qual[p])-33 >= qualThresh
+	}
+	flags := byte(0)
+	if p := start - 1; p >= 0 {
+		if c, valid := BaseCode(seq[p]); valid {
+			flags |= skFlagLead | byte(c)<<2
+		}
+	}
+	if p := start + L; p < len(seq) {
+		if c, valid := BaseCode(seq[p]); valid {
+			flags |= skFlagTrail | byte(c)<<4
+		}
+	}
+	base := len(dst)
+	dst = append(dst, byte(L), byte(L>>8), flags)
+
+	maskBytes := (L + 2 + 7) / 8
+	maskOff := len(dst)
+	for i := 0; i < maskBytes; i++ {
+		dst = append(dst, 0)
+	}
+	setBit := func(j int, on bool) {
+		if on {
+			dst[maskOff+j>>3] |= 1 << uint(j&7)
+		}
+	}
+	setBit(0, start > 0 && qualAt(start-1))
+	for j := 0; j < L; j++ {
+		setBit(j+1, qualAt(start+j))
+	}
+	setBit(L+1, qualAt(start+L))
+
+	var cur byte
+	for j := 0; j < L; j++ {
+		c, valid := BaseCode(seq[start+j])
+		if !valid {
+			return dst[:base], false
+		}
+		cur |= byte(c) << uint(6-2*(j&3))
+		if j&3 == 3 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if L&3 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst, true
+}
+
+// skReader is a sticky bounds-checked cursor over a super-k-mer payload.
+type skReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *skReader) fail() { r.bad = true }
+
+func (r *skReader) u8() byte {
+	if r.bad || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *skReader) u16() int {
+	lo, hi := r.u8(), r.u8()
+	return int(lo) | int(hi)<<8
+}
+
+func (r *skReader) bytes(n int) []byte {
+	if r.bad || n < 0 || len(r.b)-r.off < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// DecodeSuperKmers walks every record in payload (records are
+// concatenated back to back) and calls fn once per k-mer window, in run
+// order, with the window's packed k-mer as read and its left/right
+// extension evidence (a base code 0..3, or ExtAbsent). The k-mer is NOT
+// canonicalized — callers canonicalize and, if flipped, swap and
+// complement the evidence, exactly as for an occurrence scanned from a
+// read. Returns the number of windows delivered; a framing error (bad
+// length, truncated record, trailing garbage) aborts the walk with
+// ErrBadSuperKmer.
+func DecodeSuperKmers(payload []byte, k int, fn func(km Kmer, left, right uint8)) (windows int, err error) {
+	if k <= 0 || k > MaxK {
+		return 0, fmt.Errorf("%w: k=%d", ErrBadSuperKmer, k)
+	}
+	r := &skReader{b: payload}
+	for r.off < len(r.b) {
+		L := r.u16()
+		flags := r.u8()
+		if r.bad || L < k {
+			return windows, fmt.Errorf("%w: run length %d below k=%d", ErrBadSuperKmer, L, k)
+		}
+		mask := r.bytes((L + 2 + 7) / 8)
+		bases := r.bytes((L + 3) / 4)
+		if r.bad {
+			return windows, fmt.Errorf("%w: truncated record (L=%d)", ErrBadSuperKmer, L)
+		}
+		baseAt := func(j int) uint64 {
+			return uint64(bases[j>>2]) >> uint(6-2*(j&3)) & 3
+		}
+		bit := func(j int) bool {
+			return mask[j>>3]>>uint(j&7)&1 == 1
+		}
+		var km Kmer
+		for j := 0; j < k; j++ {
+			km.setBase(j, baseAt(j))
+		}
+		nwin := L - k + 1
+		for i := 0; i < nwin; i++ {
+			if i > 0 {
+				km = km.NextRight(k, baseAt(i+k-1))
+			}
+			left, right := ExtAbsent, ExtAbsent
+			if i == 0 {
+				if flags&skFlagLead != 0 && bit(0) {
+					left = flags >> 2 & 3
+				}
+			} else if bit(i) {
+				left = uint8(baseAt(i - 1))
+			}
+			if i == nwin-1 {
+				if flags&skFlagTrail != 0 && bit(L+1) {
+					right = flags >> 4 & 3
+				}
+			} else if bit(i + k + 1) {
+				right = uint8(baseAt(i + k))
+			}
+			fn(km, left, right)
+		}
+		windows += nwin
+	}
+	return windows, nil
+}

@@ -49,6 +49,12 @@ type Config struct {
 	Theta int
 	// HHMinCount overrides the heavy-hitter threshold (0 = automatic).
 	HHMinCount int64
+	// MinimizerLen overrides the super-k-mer minimizer length of k-mer
+	// analysis (0 = default; clamped odd and below K).
+	MinimizerLen int
+	// DisableSuperKmers reverts stage-1 communication to one aggregated
+	// store item per k-mer occurrence (the ablation baseline).
+	DisableSuperKmers bool
 	// Oracle, when set, places the de Bruijn graph with the
 	// communication-avoiding layout of §3.2.
 	Oracle *dht.Oracle

@@ -82,7 +82,9 @@ func buildStages(cfg Config) []stage {
 			name: "kmer-analysis",
 			run:  runKmerAnalysis,
 			save: func(env *stageEnv) ([]byte, error) {
-				return ckpt.EncodeKmerStage(env.res.KAnalysis), nil
+				m := kanalysis.EffectiveMinimizerLen(env.cfg.K,
+					env.cfg.MinimizerLen, env.cfg.DisableSuperKmers)
+				return ckpt.EncodeKmerStage(env.res.KAnalysis, env.cfg.K, m), nil
 			},
 			load: func(env *stageEnv, payload []byte) error {
 				ka, err := ckpt.DecodeKmerStage(env.team, payload, env.cfg.AggBufSize)
@@ -178,12 +180,14 @@ func StageNames(cfg Config) []string {
 
 func runKmerAnalysis(env *stageEnv) error {
 	env.res.KAnalysis = kanalysis.Run(env.team, env.merged, kanalysis.Options{
-		K:            env.cfg.K,
-		MinCount:     env.cfg.MinCount,
-		HeavyHitters: !env.cfg.DisableHeavyHitters,
-		Theta:        env.cfg.Theta,
-		HHMinCount:   env.cfg.HHMinCount,
-		AggBufSize:   env.cfg.AggBufSize,
+		K:                 env.cfg.K,
+		MinCount:          env.cfg.MinCount,
+		HeavyHitters:      !env.cfg.DisableHeavyHitters,
+		Theta:             env.cfg.Theta,
+		HHMinCount:        env.cfg.HHMinCount,
+		MinimizerLen:      env.cfg.MinimizerLen,
+		DisableSuperKmers: env.cfg.DisableSuperKmers,
+		AggBufSize:        env.cfg.AggBufSize,
 	})
 	return nil
 }
@@ -345,6 +349,8 @@ func runFingerprint(team *xrt.Team, cfg Config, readLibs []scaffold.ReadLib) str
 	f.Bool(cfg.DisableHeavyHitters)
 	f.Int(int64(cfg.Theta))
 	f.Int(cfg.HHMinCount)
+	f.Int(int64(cfg.MinimizerLen))
+	f.Bool(cfg.DisableSuperKmers)
 	f.Int(int64(cfg.AggBufSize))
 	f.Bool(cfg.ContigsOnly)
 	f.Int(int64(cfg.ScaffoldRounds))
