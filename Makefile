@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify ckpt chaos
+.PHONY: all build vet test race bench verify ckpt chaos meta
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 # claim/abort traversal, and the perturbation-seed assembly sweep), and a
 # short fuzz smoke over both record parsers. `make test` / `make race`
 # remain the exhaustive versions.
-verify: build vet ckpt chaos
+verify: build vet ckpt chaos meta
 	$(GO) test -short ./...
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
@@ -53,6 +53,22 @@ chaos:
 	$(GO) test -short -run 'Chaos|Dedup|Thaw' ./internal/xrt/ ./internal/dht/
 	$(GO) test -fuzz FuzzDedupWindow -fuzztime 3s -run '^$$' ./internal/dht/
 	$(GO) test -short -run 'ChaosSweep' ./internal/expt/
+
+# Iterative-k metagenome correctness: the graph-cleaning property tests
+# (tip clipping preserves the true walk, bubble popping keeps exactly
+# one branch, both idempotent, rank-invariant), the pseudo-read
+# equivalence tests, the multi-k pipeline battery (stage registry,
+# contig feedback, bit-identity across ranks/perturb/chaos, crash-resume
+# inside each cleaning stage), the abundance-aware oracle tests, and a
+# fuzz smoke over the round/cleaning checkpoint codecs. The MetaSweep
+# exhibit (multi-k vs single-k recovery gate) runs in CI's metagenome
+# job via `benchsuite -meta` on a reduced dataset.
+meta:
+	$(GO) test -short -run 'ClipTips|PopBubbles|Cleaning|MergeRounds' ./internal/contig/
+	$(GO) test -short -run 'Pseudo' ./internal/kanalysis/
+	$(GO) test -run 'MultiK' ./internal/pipeline/
+	$(GO) test -short -run 'Meta|LowestQuartile' ./internal/verify/
+	$(GO) test -fuzz FuzzCleaningDecode -fuzztime 3s -run '^$$' ./internal/ckpt/
 
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths,

@@ -7,6 +7,7 @@
 //	benchsuite -fig6 -table1    # selected experiments
 //	benchsuite -all -cores 48,96,192,384,768
 //	benchsuite -chaos -chaos-metrics-out chaos-metrics.json
+//	benchsuite -meta -meta-metrics-out meta-metrics.json
 package main
 
 import (
@@ -46,12 +47,17 @@ func main() {
 	faultResume := flag.Bool("fault-resume", false, "crash-resume sweep: injected rank crashes, checkpoint resume, bit-identical assembly")
 	chaos := flag.Bool("chaos", false, "chaos sweep: message drop/dup injection, retry/dedup layer, bit-identical assembly")
 	chaosMetricsOut := flag.String("chaos-metrics-out", "", "write the chaos runs' metrics reports (JSON array) to this path (implies -chaos)")
+	meta := flag.Bool("meta", false, "iterative-k metagenome sweep: multi-k vs single-k recovery, abundance-aware oracle, multi-round determinism")
+	metaMetricsOut := flag.String("meta-metrics-out", "", "write the metagenome sweep's metrics reports (JSON array) to this path (implies -meta)")
 	metricsOut := flag.String("metrics-out", "", "write per-stage metrics reports (human+wheat, JSON array) to this path")
 	benchOut := flag.String("bench-out", "", "run the k-mer-analysis communication benchmark and write BENCH_kanalysis.json to this path")
 	benchBaseline := flag.String("bench-baseline", "", "committed BENCH_kanalysis.json to compare against; exit 1 if stage-1 messages regress >10% (requires -bench-out)")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
 	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
+	metaLen := flag.Int("meta-len", 0, "metagenome total length override")
+	metaSpecies := flag.Int("meta-species", 0, "metagenome species-count override")
+	metaPairs := flag.Int("meta-pairs", 0, "metagenome read-pair-count override")
 	seed := flag.Int64("seed", 0, "seed override")
 	flag.Parse()
 
@@ -74,12 +80,22 @@ func main() {
 	if *wheatLen > 0 {
 		sc.WheatLen = *wheatLen
 	}
+	if *metaLen > 0 {
+		sc.MetaLen = *metaLen
+	}
+	if *metaSpecies > 0 {
+		sc.MetaSpecies = *metaSpecies
+	}
+	if *metaPairs > 0 {
+		sc.MetaPairs = *metaPairs
+	}
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
-		*faultResume || *chaos || *chaosMetricsOut != "" || *metricsOut != "" || *benchOut != "") {
+		*faultResume || *chaos || *chaosMetricsOut != "" || *meta || *metaMetricsOut != "" ||
+		*metricsOut != "" || *benchOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -169,6 +185,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchsuite: chaos sweep failed on %s\n", r.Dataset)
 				os.Exit(1)
 			}
+		}
+	}
+	if *all || *meta || *metaMetricsOut != "" {
+		row, reports, text := expt.MetaSweep(sc)
+		fmt.Println(text)
+		if *metaMetricsOut != "" {
+			if err := metrics.WriteFileAll(*metaMetricsOut, reports); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d metagenome metrics reports to %s\n", len(reports), *metaMetricsOut)
+		}
+		if !row.Gate() {
+			fmt.Fprintf(os.Stderr, "benchsuite: metagenome sweep gate failed\n")
+			os.Exit(1)
 		}
 	}
 	if *metricsOut != "" {

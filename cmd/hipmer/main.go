@@ -5,8 +5,15 @@
 //
 //	hipmer -reads lib1.fastq[,insert] [-reads lib2.fastq,4200] \
 //	       -k 31 -ranks 48 -out assembly.fasta [-contigs-only] [-ref ref.fasta] \
+//	       [-kmer-lens 21,33,55] \
 //	       [-ckpt-dir run1.ckpt [-resume]] [-fault-seed N -fail-stage scaffolding] \
 //	       [-chaos-seed N -drop-rate 0.05 [-retry-budget 16]]
+//
+// -kmer-lens runs the MetaHipMer-style iterative-k loop (metagenome
+// mode): one assembly round per length, each round's tip-clipped and
+// bubble-popped contigs fed into the next as weighted pseudo-reads.
+// Stage names gain per-round suffixes (e.g. tip-clip-k33) for
+// -fail-stage targeting.
 //
 // With -ckpt-dir each stage's output is checkpointed as it completes;
 // rerunning with -resume skips completed stages after validating the
@@ -57,6 +64,7 @@ func main() {
 	var libs libFlags
 	flag.Var(&libs, "reads", "FASTQ file, optionally with ,insertSize (repeatable)")
 	k := flag.Int("k", 31, "k-mer length (odd)")
+	kmerLens := flag.String("kmer-lens", "", "comma-separated iterative-k ladder, e.g. 21,33,55 (odd, strictly increasing); runs one assembly round per length with contig feedback, overriding -k")
 	minCount := flag.Int("min-count", 2, "minimum k-mer count (error threshold)")
 	ranks := flag.Int("ranks", 48, "simulated processor count")
 	ranksPerNode := flag.Int("ranks-per-node", 24, "simulated cores per node")
@@ -79,8 +87,21 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 16, "max retransmissions per message before the run fails (exit 4)")
 	flag.Parse()
 
+	var lens []int
+	if *kmerLens != "" {
+		for _, s := range strings.Split(*kmerLens, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hipmer: bad -kmer-lens entry %q\n", s)
+				os.Exit(2)
+			}
+			lens = append(lens, v)
+		}
+	}
+
 	opts := hipmer.Options{
 		K:                   *k,
+		KmerLens:            lens,
 		MinCount:            *minCount,
 		Ranks:               *ranks,
 		RanksPerNode:        *ranksPerNode,

@@ -19,6 +19,17 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 	if opt.K%2 == 0 {
 		return fmt.Errorf("-k must be odd, got %d", opt.K)
 	}
+	for i, k := range opt.KmerLens {
+		if k < 1 || k > 64 {
+			return fmt.Errorf("-kmer-lens entries must be in 1..64, got %d", k)
+		}
+		if k%2 == 0 {
+			return fmt.Errorf("-kmer-lens entries must be odd, got %d", k)
+		}
+		if i > 0 && k <= opt.KmerLens[i-1] {
+			return fmt.Errorf("-kmer-lens must be strictly increasing, got %v", opt.KmerLens)
+		}
+	}
 	if m := opt.MinimizerLen; m != 0 {
 		if m%2 == 0 {
 			return fmt.Errorf("-minimizer-len must be odd, got %d", m)
@@ -26,8 +37,14 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 		if m < 4 || m > 31 {
 			return fmt.Errorf("-minimizer-len must be in 4..31, got %d", m)
 		}
-		if m >= opt.K {
-			return fmt.Errorf("-minimizer-len must be < k (%d), got %d", opt.K, m)
+		// In iterative-k mode every round's k must accommodate the
+		// minimizer, so the smallest entry is the binding bound.
+		smallestK := opt.K
+		if len(opt.KmerLens) > 0 {
+			smallestK = opt.KmerLens[0]
+		}
+		if m >= smallestK {
+			return fmt.Errorf("-minimizer-len must be < smallest k (%d), got %d", smallestK, m)
 		}
 	}
 	if opt.MinCount < 1 {
@@ -48,11 +65,27 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 	if (opt.FaultSeed != 0) != (opt.FailStage != "") {
 		return fmt.Errorf("-fault-seed and -fail-stage must be given together")
 	}
-	if opt.FailStage != "" && opt.ContigsOnly {
-		switch opt.FailStage {
-		case "io", "kmer-analysis", "contig-generation":
-		default:
-			return fmt.Errorf("-fail-stage %q does not exist with -contigs-only", opt.FailStage)
+	if opt.FailStage != "" {
+		if len(opt.KmerLens) > 0 {
+			// Iterative-k renames every pre-scaffolding stage with a
+			// per-round -k<N> suffix; check against the actual registry.
+			found := false
+			for _, name := range hipmer.StageNames(opt) {
+				if name == opt.FailStage {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("-fail-stage %q does not exist with -kmer-lens %v (see hipmer.StageNames)",
+					opt.FailStage, opt.KmerLens)
+			}
+		} else if opt.ContigsOnly {
+			switch opt.FailStage {
+			case "io", "kmer-analysis", "contig-generation":
+			default:
+				return fmt.Errorf("-fail-stage %q does not exist with -contigs-only", opt.FailStage)
+			}
 		}
 	}
 	if opt.DropRate < 0 || opt.DropRate >= 1 {

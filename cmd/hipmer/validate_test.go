@@ -39,6 +39,47 @@ func TestValidateOptions(t *testing.T) {
 			o.FaultSeed = 9
 			o.FailStage = "kmer-analysis"
 		}, 1, ""},
+		{"kmer-lens-valid", func(o *hipmer.Options) { o.KmerLens = []int{21, 33, 55} }, 1, ""},
+		{"kmer-lens-even", func(o *hipmer.Options) { o.KmerLens = []int{21, 32, 55} }, 1, "odd"},
+		{"kmer-lens-zero", func(o *hipmer.Options) { o.KmerLens = []int{0, 21} }, 1, "1..64"},
+		{"kmer-lens-too-big", func(o *hipmer.Options) { o.KmerLens = []int{21, 65} }, 1, "1..64"},
+		{"kmer-lens-decreasing", func(o *hipmer.Options) { o.KmerLens = []int{33, 21} }, 1, "strictly increasing"},
+		{"kmer-lens-repeated", func(o *hipmer.Options) { o.KmerLens = []int{21, 21} }, 1, "strictly increasing"},
+		{"minimizer-below-smallest-k", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.MinimizerLen = 15
+		}, 1, ""},
+		{"minimizer-at-smallest-k", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.MinimizerLen = 21
+		}, 1, "smallest k"},
+		{"minimizer-above-smallest-k", func(o *hipmer.Options) {
+			// Legal against -k alone (25 < 31) but not against the ladder's
+			// first round at k=21.
+			o.KmerLens = []int{21, 33, 55}
+			o.MinimizerLen = 25
+		}, 1, "smallest k"},
+		{"fail-stage-round-suffixed", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.FaultSeed = 9
+			o.FailStage = "tip-clip-k33"
+		}, 1, ""},
+		{"fail-stage-unsuffixed-in-multi-k", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.FaultSeed = 9
+			o.FailStage = "kmer-analysis"
+		}, 1, "-kmer-lens"},
+		{"fail-stage-scaffolding-in-multi-k", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.FaultSeed = 9
+			o.FailStage = "scaffolding"
+		}, 1, ""},
+		{"fail-stage-gone-in-multi-k-contigs-only", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.ContigsOnly = true
+			o.FaultSeed = 9
+			o.FailStage = "scaffolding"
+		}, 1, "-kmer-lens"},
 		{"drop-rate-negative", func(o *hipmer.Options) {
 			o.ChaosSeed = 7
 			o.RetryBudget = 16

@@ -64,6 +64,13 @@ type Library struct {
 type Options struct {
 	// K is the k-mer length; must be odd, defaults to 31.
 	K int
+	// KmerLens, when non-empty, runs the MetaHipMer-style iterative-k
+	// outer loop instead of a single-k assembly: one round per length
+	// (each odd, strictly increasing), with every round's tip-clipped and
+	// bubble-popped contigs fed into the next round as weighted
+	// pseudo-reads. Overrides K (which becomes the last entry). Stage
+	// names gain per-round -k<N> suffixes — see StageNames.
+	KmerLens []int
 	// MinCount discards k-mers seen fewer times as erroneous (default 2).
 	MinCount int
 	// Ranks is the simulated processor count (default 16).
@@ -220,6 +227,14 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 	if opt.K%2 == 0 {
 		return nil, fmt.Errorf("hipmer: k must be odd, got %d", opt.K)
 	}
+	for i, k := range opt.KmerLens {
+		if k%2 == 0 {
+			return nil, fmt.Errorf("hipmer: kmer-lens entries must be odd, got %d", k)
+		}
+		if i > 0 && k <= opt.KmerLens[i-1] {
+			return nil, fmt.Errorf("hipmer: kmer-lens must be strictly increasing, got %v", opt.KmerLens)
+		}
+	}
 	if opt.Ranks <= 0 {
 		opt.Ranks = 16
 	}
@@ -236,6 +251,7 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 	}
 	cfg := pipeline.Config{
 		K:                   opt.K,
+		KmerLens:            append([]int(nil), opt.KmerLens...),
 		MinCount:            opt.MinCount,
 		DisableHeavyHitters: opt.DisableHeavyHitters,
 		MinimizerLen:        opt.MinimizerLen,
@@ -318,6 +334,20 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		res.Verify = vr
 	}
 	return res, nil
+}
+
+// StageNames returns the pipeline stage names an assembly with these
+// options would execute, in order — the legal values for FailStage. In
+// iterative-k mode (KmerLens) each round contributes kmer-analysis-k<N>,
+// contig-generation-k<N>, tip-clip-k<N>, bubble-pop-k<N>, and
+// pseudo-merge-k<N> stages.
+func StageNames(opt Options) []string {
+	return pipeline.StageNames(pipeline.Config{
+		K:              opt.K,
+		KmerLens:       append([]int(nil), opt.KmerLens...),
+		ContigsOnly:    opt.ContigsOnly,
+		ScaffoldRounds: opt.ScaffoldRounds,
+	})
 }
 
 // Validate compares the assembly to a reference sequence.

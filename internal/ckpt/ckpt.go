@@ -42,8 +42,11 @@ import (
 // Schema is the manifest schema version; a manifest carrying any other
 // value refuses to load. v2: the k-mer stage payload gained table
 // placement parameters (k, minimizer length) and super-k-mer transport
-// counters.
-const Schema = "hipmer-ckpt/v2"
+// counters. v3: stage entries carry an iterative-k round tag, contig
+// payloads carry per-contig pseudo-read weights, and the cleaning and
+// carry codecs (tip-clip / bubble-pop / pseudo-merge stages) joined the
+// format.
+const Schema = "hipmer-ckpt/v3"
 
 // ManifestName is the manifest's filename inside a run directory.
 const ManifestName = "MANIFEST.json"
@@ -74,6 +77,9 @@ type StageEntry struct {
 	File string `json:"file"`
 	// Seq is the stage's position in pipeline order, informational.
 	Seq int `json:"seq"`
+	// Round is the iterative-k round the stage belongs to (1-based);
+	// zero for stages outside the multi-k loop.
+	Round int `json:"round,omitempty"`
 	// Bytes is the full segment file size (header + payload + CRC).
 	Bytes int64 `json:"bytes"`
 	// CRC32 is the IEEE checksum stored at the segment tail, duplicated
@@ -115,6 +121,10 @@ func ParseManifest(b []byte) (*Manifest, error) {
 			strings.HasPrefix(e.File, ".") {
 			return nil, fmt.Errorf("%w: stage %q has invalid segment file %q",
 				ErrBadManifest, e.Name, e.File)
+		}
+		if e.Round < 0 {
+			return nil, fmt.Errorf("%w: stage %q has negative round %d",
+				ErrBadManifest, e.Name, e.Round)
 		}
 	}
 	return &m, nil
@@ -182,6 +192,12 @@ func (s *Store) Completed(stage string) bool { return s.Entry(stage) != nil }
 // then the manifest updated (replace-by-name or append) and rewritten
 // atomically. Returns the resulting entry.
 func (s *Store) WriteStage(stage string, payload []byte) (StageEntry, error) {
+	return s.WriteStageRound(stage, 0, payload)
+}
+
+// WriteStageRound is WriteStage with an iterative-k round tag recorded
+// in the manifest entry (0 for stages outside the multi-k loop).
+func (s *Store) WriteStageRound(stage string, round int, payload []byte) (StageEntry, error) {
 	seg := encodeSegment(stage, payload)
 	file := segFileName(stage)
 	if err := atomicWrite(filepath.Join(s.dir, file), seg); err != nil {
@@ -191,6 +207,7 @@ func (s *Store) WriteStage(stage string, payload []byte) (StageEntry, error) {
 		Name:        stage,
 		File:        file,
 		Seq:         len(s.man.Stages),
+		Round:       round,
 		Bytes:       int64(len(seg)),
 		CRC32:       crc32.ChecksumIEEE(seg[:len(seg)-4]),
 		ContentHash: hashHex(payload),

@@ -159,10 +159,44 @@ func DecodeKmerStage(team *xrt.Team, b []byte, aggBufSize int) (*kanalysis.Resul
 // ---------------------------------------------------------------------
 // contig generation
 
-// EncodeContigStage serializes a contig-generation result (minus the de
-// Bruijn graph — see the package comment).
-func EncodeContigStage(res *contig.Result) []byte {
-	e := &enc{}
+// contigRecBytes is the minimum wire size of one contig record (ID,
+// length-prefixed seq, two terminations, four neighbor words, two
+// neighbor flags, sum count, pseudo weight).
+const contigRecBytes = 8 + 8 + 2 + 32 + 2 + 8 + 4
+
+func encodeContig(e *enc, c *contig.Contig) {
+	e.i64(c.ID)
+	e.bytes(c.Seq)
+	e.u8(c.TermL)
+	e.u8(c.TermR)
+	e.u64(c.NbrL.W[0])
+	e.u64(c.NbrL.W[1])
+	e.u64(c.NbrR.W[0])
+	e.u64(c.NbrR.W[1])
+	e.bool(c.HasNbrL)
+	e.bool(c.HasNbrR)
+	e.u64(c.SumCount)
+	e.u32(c.PseudoWeight)
+}
+
+func decodeContig(d *dec) *contig.Contig {
+	c := &contig.Contig{}
+	c.ID = d.i64()
+	c.Seq = d.bytes()
+	c.TermL = d.u8()
+	c.TermR = d.u8()
+	c.NbrL.W[0] = d.u64()
+	c.NbrL.W[1] = d.u64()
+	c.NbrR.W[0] = d.u64()
+	c.NbrR.W[1] = d.u64()
+	c.HasNbrL = d.bool()
+	c.HasNbrR = d.bool()
+	c.SumCount = d.u64()
+	c.PseudoWeight = d.u32()
+	return c
+}
+
+func encodeContigResult(e *enc, res *contig.Result) {
 	e.i64(res.NumContigs)
 	e.i64(res.UUKmers)
 	e.i64(res.Claimed)
@@ -173,27 +207,15 @@ func EncodeContigStage(res *contig.Result) []byte {
 	for _, cs := range res.Contigs {
 		e.u64(uint64(len(cs)))
 		for _, c := range cs {
-			e.i64(c.ID)
-			e.bytes(c.Seq)
-			e.u8(c.TermL)
-			e.u8(c.TermR)
-			e.u64(c.NbrL.W[0])
-			e.u64(c.NbrL.W[1])
-			e.u64(c.NbrR.W[0])
-			e.u64(c.NbrR.W[1])
-			e.bool(c.HasNbrL)
-			e.bool(c.HasNbrR)
-			e.u64(c.SumCount)
+			encodeContig(e, c)
 		}
 	}
-	return e.b
 }
 
-// DecodeContigStage rebuilds a contig-generation result. The checkpoint
-// must come from a run with the same rank count (the fingerprint
-// guarantees this; the decoder re-checks).
-func DecodeContigStage(team *xrt.Team, b []byte) (*contig.Result, error) {
-	d := &dec{b: b}
+// decodeContigResult is the team-free core of DecodeContigStage:
+// wantRanks <= 0 skips the rank-partition check (fuzzing decodes with
+// no team at hand).
+func decodeContigResult(d *dec, wantRanks int) (*contig.Result, error) {
 	res := &contig.Result{}
 	res.NumContigs = d.i64()
 	res.UUKmers = d.i64()
@@ -202,26 +224,15 @@ func DecodeContigStage(team *xrt.Team, b []byte) (*contig.Result, error) {
 	res.Aborted = d.i64()
 	res.Rounds = d.i64()
 	ranks := d.count(8)
-	if d.err == nil && ranks != team.Config().Ranks {
+	if d.err == nil && wantRanks > 0 && ranks != wantRanks {
 		return nil, fmt.Errorf("contig payload: %d rank partitions, team has %d",
-			ranks, team.Config().Ranks)
+			ranks, wantRanks)
 	}
 	res.Contigs = make([][]*contig.Contig, ranks)
 	for r := 0; r < ranks; r++ {
-		n := d.count(8 + 8 + 2 + 32 + 2 + 8)
+		n := d.count(contigRecBytes)
 		for i := 0; i < n; i++ {
-			c := &contig.Contig{}
-			c.ID = d.i64()
-			c.Seq = d.bytes()
-			c.TermL = d.u8()
-			c.TermR = d.u8()
-			c.NbrL.W[0] = d.u64()
-			c.NbrL.W[1] = d.u64()
-			c.NbrR.W[0] = d.u64()
-			c.NbrR.W[1] = d.u64()
-			c.HasNbrL = d.bool()
-			c.HasNbrR = d.bool()
-			c.SumCount = d.u64()
+			c := decodeContig(d)
 			if d.err != nil {
 				break
 			}
@@ -232,6 +243,100 @@ func DecodeContigStage(team *xrt.Team, b []byte) (*contig.Result, error) {
 		return nil, fmt.Errorf("contig payload: %w", err)
 	}
 	return res, nil
+}
+
+// EncodeContigStage serializes a contig-generation result (minus the de
+// Bruijn graph — see the package comment).
+func EncodeContigStage(res *contig.Result) []byte {
+	e := &enc{}
+	encodeContigResult(e, res)
+	return e.b
+}
+
+// DecodeContigStage rebuilds a contig-generation result. The checkpoint
+// must come from a run with the same rank count (the fingerprint
+// guarantees this; the decoder re-checks).
+func DecodeContigStage(team *xrt.Team, b []byte) (*contig.Result, error) {
+	return decodeContigResult(&dec{b: b}, team.Config().Ranks)
+}
+
+// ---------------------------------------------------------------------
+// graph cleaning (tip-clip / bubble-pop rounds of the iterative-k loop)
+
+// EncodeCleaningStage serializes the output of a cleaning pass: the
+// cumulative cleaning counters followed by the surviving contig result
+// (same projection as the contig-generation codec).
+func EncodeCleaningStage(res *contig.Result, stats contig.CleanStats) []byte {
+	e := &enc{}
+	e.i64(stats.TipsClipped)
+	e.i64(stats.BubblesPopped)
+	e.i64(stats.BasesRemoved)
+	e.i64(stats.Survivors)
+	encodeContigResult(e, res)
+	return e.b
+}
+
+// DecodeCleaningStage rebuilds a cleaning pass's surviving contigs and
+// counters. wantRanks <= 0 skips the rank-partition check; the sticky-
+// error decoder rejects any malformed payload without panicking
+// (fuzzed).
+func DecodeCleaningStage(b []byte, wantRanks int) (*contig.Result, contig.CleanStats, error) {
+	d := &dec{b: b}
+	var stats contig.CleanStats
+	stats.TipsClipped = d.i64()
+	stats.BubblesPopped = d.i64()
+	stats.BasesRemoved = d.i64()
+	stats.Survivors = d.i64()
+	res, err := decodeContigResult(d, wantRanks)
+	if err != nil {
+		return nil, contig.CleanStats{}, fmt.Errorf("cleaning payload: %w", err)
+	}
+	return res, stats, nil
+}
+
+// ---------------------------------------------------------------------
+// pseudo-read carry (merge stage of the iterative-k loop)
+
+// EncodeCarryStage serializes a pseudo-merge stage's output: the merge
+// counters and the flat, globally renumbered carried-contig list that
+// seeds the next k round.
+func EncodeCarryStage(carried []*contig.Contig, st contig.MergeStats) []byte {
+	e := &enc{}
+	e.i64(st.Carried)
+	e.i64(st.Represented)
+	e.i64(st.PoppedOld)
+	e.i64(st.Rescued)
+	e.i64(st.Total)
+	e.u64(uint64(len(carried)))
+	for _, c := range carried {
+		encodeContig(e, c)
+	}
+	return e.b
+}
+
+// DecodeCarryStage rebuilds a pseudo-merge stage's carried contigs and
+// counters. Team-free; never panics on corrupt bytes (fuzzed).
+func DecodeCarryStage(b []byte) ([]*contig.Contig, contig.MergeStats, error) {
+	d := &dec{b: b}
+	var st contig.MergeStats
+	st.Carried = d.i64()
+	st.Represented = d.i64()
+	st.PoppedOld = d.i64()
+	st.Rescued = d.i64()
+	st.Total = d.i64()
+	n := d.count(contigRecBytes)
+	var carried []*contig.Contig
+	for i := 0; i < n; i++ {
+		c := decodeContig(d)
+		if d.err != nil {
+			break
+		}
+		carried = append(carried, c)
+	}
+	if err := d.done(); err != nil {
+		return nil, contig.MergeStats{}, fmt.Errorf("carry payload: %w", err)
+	}
+	return carried, st, nil
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,330 @@
+package contig
+
+import (
+	"testing"
+
+	"hipmer/internal/genome"
+	"hipmer/internal/kmer"
+	"hipmer/internal/xrt"
+)
+
+// Synthetic-graph scaffolding for the cleaning property tests: contigs
+// are built directly (sequence, junction k-mers, depth) so each test
+// controls the exact graph shape the pass sees.
+
+func cleanTeam() *xrt.Team {
+	return xrt.NewTeam(xrt.Config{Ranks: 4, RanksPerNode: 2, Seed: 3})
+}
+
+func randKmer(rng *xrt.Prng, k int) kmer.Kmer {
+	km, ok := kmer.Pack(genome.Random(rng, k), k)
+	if !ok {
+		panic("unpackable random k-mer")
+	}
+	return km
+}
+
+// synthContig builds a contig of the given length and mean depth with
+// the given junction attachments.
+func synthContig(rng *xrt.Prng, id int64, length int, depth float64, k int,
+	nbrL kmer.Kmer, hasL bool, nbrR kmer.Kmer, hasR bool) *Contig {
+	return &Contig{
+		ID: id, Seq: genome.Random(rng, length),
+		NbrL: nbrL, HasNbrL: hasL, NbrR: nbrR, HasNbrR: hasR,
+		SumCount: uint64(depth * float64(length-k+1)),
+	}
+}
+
+func idsOf(res *Result) map[int64]bool {
+	out := map[int64]bool{}
+	for _, c := range res.All() {
+		out[c.ID] = true
+	}
+	return out
+}
+
+// TestClipTipsPreservesTrueWalk: on seeded synthetic graphs — a deep
+// chain of contigs (the true-genome walk) with shallow dead-end tips
+// hanging off its junctions — tip clipping removes only tips, never a
+// chain vertex, and a second pass is a no-op.
+func TestClipTipsPreservesTrueWalk(t *testing.T) {
+	const k = 21
+	for trial := int64(0); trial < 10; trial++ {
+		rng := xrt.NewPrng(100 + trial)
+		team := cleanTeam()
+
+		// Chain: c1 -j1- c2 -j2- ... -j(n-1)- cn, all deep.
+		nChain := 3 + int(rng.Uint64()%4)
+		junctions := make([]kmer.Kmer, nChain-1)
+		for i := range junctions {
+			junctions[i] = randKmer(rng, k)
+		}
+		var all []*Contig
+		chainIDs := map[int64]bool{}
+		id := int64(1)
+		for i := 0; i < nChain; i++ {
+			var nbrL, nbrR kmer.Kmer
+			hasL, hasR := i > 0, i < nChain-1
+			if hasL {
+				nbrL = junctions[i-1]
+			}
+			if hasR {
+				nbrR = junctions[i]
+			}
+			depth := 20 + float64(rng.Uint64()%20)
+			c := synthContig(rng, id, 4*k+int(rng.Uint64()%100), depth, k,
+				nbrL, hasL, nbrR, hasR)
+			chainIDs[id] = true
+			all = append(all, c)
+			id++
+		}
+		// Tips: short, shallow (depth well under half the chain's), one
+		// end on a chain junction, other end dead.
+		nTips := 1 + int(rng.Uint64()%4)
+		tipIDs := map[int64]bool{}
+		for i := 0; i < nTips; i++ {
+			j := junctions[rng.Uint64()%uint64(len(junctions))]
+			c := synthContig(rng, id, k+1+int(rng.Uint64()%(2*k-1)), 2, k,
+				j, true, kmer.Kmer{}, false)
+			if rng.Uint64()%2 == 0 { // attachment side must not matter
+				c.NbrL, c.NbrR = c.NbrR, c.NbrL
+				c.HasNbrL, c.HasNbrR = false, true
+			}
+			tipIDs[id] = true
+			all = append(all, c)
+			id++
+		}
+
+		res := ResultFromContigs(team, all)
+		st := ClipTips(team, res, CleanOptions{K: k})
+		after := idsOf(res)
+		for cid := range chainIDs {
+			if !after[cid] {
+				t.Fatalf("trial %d: chain contig %d removed by tip clipping", trial, cid)
+			}
+		}
+		for tid := range tipIDs {
+			if after[tid] {
+				t.Fatalf("trial %d: shallow tip %d survived", trial, tid)
+			}
+		}
+		if st.TipsClipped != int64(nTips) || st.Survivors != int64(nChain) {
+			t.Fatalf("trial %d: stats %+v, want %d clipped / %d survivors",
+				trial, st, nTips, nChain)
+		}
+
+		st2 := ClipTips(team, res, CleanOptions{K: k})
+		if st2.TipsClipped != 0 || st2.BasesRemoved != 0 {
+			t.Fatalf("trial %d: second pass not a no-op: %+v", trial, st2)
+		}
+	}
+}
+
+// TestClipTipsKeepsIsolatedAndDeepContigs: whole low-coverage fragments
+// (both ends dead) and deep tips are never clipped — only dominance
+// makes a tip clippable.
+func TestClipTipsKeepsIsolatedAndDeepContigs(t *testing.T) {
+	const k = 21
+	rng := xrt.NewPrng(7)
+	team := cleanTeam()
+	j := randKmer(rng, k)
+	all := []*Contig{
+		// deep chain contig through j
+		synthContig(rng, 1, 5*k, 30, k, kmer.Kmer{}, false, j, true),
+		// isolated shallow fragment: never clipped
+		synthContig(rng, 2, k+5, 2, k, kmer.Kmer{}, false, kmer.Kmer{}, false),
+		// tip at j, but as deep as the chain: not dominated, survives
+		synthContig(rng, 3, 2*k, 30, k, j, true, kmer.Kmer{}, false),
+	}
+	res := ResultFromContigs(team, all)
+	st := ClipTips(team, res, CleanOptions{K: k})
+	if st.TipsClipped != 0 || len(res.All()) != 3 {
+		t.Fatalf("clipped a non-dominated contig: %+v", st)
+	}
+}
+
+// TestPopBubblesKeepsExactlyOneBranch: for each synthetic allelic group
+// (same junction pair, similar lengths), exactly one branch — the
+// deepest — survives; the survivors' k-mer spectrum is contained in the
+// input's; a second pass removes nothing.
+func TestPopBubblesKeepsExactlyOneBranch(t *testing.T) {
+	const k = 21
+	for trial := int64(0); trial < 10; trial++ {
+		rng := xrt.NewPrng(200 + trial)
+		team := cleanTeam()
+
+		nGroups := 1 + int(rng.Uint64()%3)
+		var all []*Contig
+		id := int64(1)
+		type group struct {
+			members map[int64]bool
+			winner  int64
+		}
+		var groups []group
+		for gi := 0; gi < nGroups; gi++ {
+			a, b := randKmer(rng, k), randKmer(rng, k)
+			nBranch := 2 + int(rng.Uint64()%3)
+			length := 2*k + int(rng.Uint64()%k)
+			g := group{members: map[int64]bool{}}
+			bestDepth := -1.0
+			for bi := 0; bi < nBranch; bi++ {
+				depth := 5 + float64(rng.Uint64()%40)
+				// lengths within ±k/2 of each other: all pass the
+				// similar-length rule
+				c := synthContig(rng, id, length+int(rng.Uint64()%(uint64(k)/2)),
+					depth, k, a, true, b, true)
+				g.members[id] = true
+				if depth > bestDepth {
+					bestDepth, g.winner = depth, id
+				}
+				all = append(all, c)
+				id++
+			}
+			groups = append(groups, g)
+		}
+		// Plus a deep through-contig on a distinct junction pair — no
+		// group, must survive.
+		lone := synthContig(rng, id, 6*k, 50, k, randKmer(rng, k), true, randKmer(rng, k), true)
+		loneID := id
+		all = append(all, lone)
+
+		inputSpectrum := map[kmer.Kmer]bool{}
+		for _, c := range all {
+			kmer.ForEach(c.Seq, k, func(_ int, km kmer.Kmer) {
+				canon, _ := km.Canonical(k)
+				inputSpectrum[canon] = true
+			})
+		}
+
+		res := ResultFromContigs(team, all)
+		st := PopBubbles(team, res, CleanOptions{K: k})
+		after := idsOf(res)
+		for gi, g := range groups {
+			alive := 0
+			for m := range g.members {
+				if after[m] {
+					alive++
+				}
+			}
+			if alive != 1 {
+				t.Fatalf("trial %d group %d: %d branches survive, want exactly 1", trial, gi, alive)
+			}
+			if !after[g.winner] {
+				t.Fatalf("trial %d group %d: deepest branch %d popped", trial, gi, g.winner)
+			}
+		}
+		if !after[loneID] {
+			t.Fatalf("trial %d: non-bubble contig popped", trial)
+		}
+		for _, c := range res.All() {
+			kmer.ForEach(c.Seq, k, func(_ int, km kmer.Kmer) {
+				canon, _ := km.Canonical(k)
+				if !inputSpectrum[canon] {
+					t.Fatalf("trial %d: survivor k-mer absent from input spectrum", trial)
+				}
+			})
+		}
+		if st.BubblesPopped == 0 {
+			t.Fatalf("trial %d: nothing popped", trial)
+		}
+
+		st2 := PopBubbles(team, res, CleanOptions{K: k})
+		if st2.BubblesPopped != 0 || st2.BasesRemoved != 0 {
+			t.Fatalf("trial %d: second pass not a no-op: %+v", trial, st2)
+		}
+	}
+}
+
+// TestCleaningRankInvariance: the surviving contig set of each pass is
+// identical regardless of team size (the gathered-graph computation is
+// global and deterministic).
+func TestCleaningRankInvariance(t *testing.T) {
+	const k = 21
+	build := func() []*Contig {
+		rng := xrt.NewPrng(42)
+		j1, j2 := randKmer(rng, k), randKmer(rng, k)
+		return []*Contig{
+			synthContig(rng, 1, 5*k, 25, k, kmer.Kmer{}, false, j1, true),
+			synthContig(rng, 2, 5*k, 25, k, j1, true, j2, true),
+			synthContig(rng, 3, 5*k, 25, k, j2, true, kmer.Kmer{}, false),
+			synthContig(rng, 4, 2*k, 2, k, j1, true, kmer.Kmer{}, false),
+			synthContig(rng, 5, 3*k, 12, k, j1, true, j2, true),
+			synthContig(rng, 6, 3*k+4, 8, k, j1, true, j2, true),
+		}
+	}
+	var baseTips, baseBubs map[int64]bool
+	for _, p := range []int{1, 3, 4} {
+		team := xrt.NewTeam(xrt.Config{Ranks: p, RanksPerNode: 2, Seed: 3})
+		res := ResultFromContigs(team, build())
+		ClipTips(team, res, CleanOptions{K: k})
+		tips := idsOf(res)
+		PopBubbles(team, res, CleanOptions{K: k})
+		bubs := idsOf(res)
+		if baseTips == nil {
+			baseTips, baseBubs = tips, bubs
+			continue
+		}
+		for id := range baseTips {
+			if !tips[id] {
+				t.Fatalf("ranks=%d: tip survivors differ at %d", p, id)
+			}
+		}
+		if len(tips) != len(baseTips) || len(bubs) != len(baseBubs) {
+			t.Fatalf("ranks=%d: survivor counts differ", p)
+		}
+	}
+}
+
+// TestMergeRoundsClassification: a carried contig fully contained in the
+// new round is dropped as represented; novel carried sequence is
+// rescued into the merged set; IDs are renumbered deterministically by
+// content.
+func TestMergeRoundsClassification(t *testing.T) {
+	const mergeK, curK = 21, 33
+	rng := xrt.NewPrng(9)
+	team := cleanTeam()
+
+	novel := genome.Random(rng, 200)
+	covered := genome.Random(rng, 150)
+	newSeq := append(append(genome.Random(rng, 50), covered...), genome.Random(rng, 50)...)
+
+	cur := ResultFromContigs(team, []*Contig{
+		{ID: 1, Seq: newSeq, SumCount: uint64(10 * (len(newSeq) - curK + 1))},
+	})
+	prev := []*Contig{
+		{ID: 1, Seq: covered, SumCount: uint64(8 * (len(covered) - mergeK + 1)), PseudoWeight: 8},
+		{ID: 2, Seq: novel, SumCount: uint64(5 * (len(novel) - mergeK + 1)), PseudoWeight: 5},
+	}
+	merged, st := MergeRounds(team, prev, cur, mergeK, curK)
+	if st.Represented != 1 || st.Rescued != 1 || st.PoppedOld != 0 {
+		t.Fatalf("stats = %+v, want 1 represented / 1 rescued", st)
+	}
+	if len(merged) != 2 || st.Total != 2 {
+		t.Fatalf("merged %d contigs, want 2", len(merged))
+	}
+	seen := map[int64]bool{}
+	for _, c := range merged {
+		if c.PseudoWeight == 0 {
+			t.Fatalf("merged contig %d has no pseudo weight", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("IDs not renumbered 1..n: %v", seen)
+	}
+
+	// Same input, fresh team: identical merged IDs and order.
+	cur2 := ResultFromContigs(cleanTeam(), []*Contig{
+		{ID: 1, Seq: newSeq, SumCount: uint64(10 * (len(newSeq) - curK + 1))},
+	})
+	prev2 := []*Contig{
+		{ID: 1, Seq: covered, SumCount: uint64(8 * (len(covered) - mergeK + 1)), PseudoWeight: 8},
+		{ID: 2, Seq: novel, SumCount: uint64(5 * (len(novel) - mergeK + 1)), PseudoWeight: 5},
+	}
+	merged2, _ := MergeRounds(cleanTeam(), prev2, cur2, mergeK, curK)
+	for i := range merged {
+		if string(merged[i].Seq) != string(merged2[i].Seq) || merged[i].ID != merged2[i].ID {
+			t.Fatalf("merge not deterministic at %d", i)
+		}
+	}
+}

@@ -76,6 +76,10 @@ type Contig struct {
 	// SumCount is the sum of member k-mer counts; mean depth is
 	// SumCount / (len(Seq)-k+1).
 	SumCount uint64
+	// PseudoWeight is the depth-derived weight this contig's k-mers carry
+	// when it is fed into the next iterative-k round as a pseudo-read.
+	// Zero until the contig first passes through MergeRounds.
+	PseudoWeight uint32
 }
 
 // Depth returns the mean k-mer depth of the contig.

@@ -1,0 +1,35 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetaSweepGate runs the iterative-k metagenome exhibit at tiny
+// scale and requires every gate to hold: strictly better low-quartile
+// recovery than the single-k baseline, zero cross-species joins from
+// the multi-k assembly, and multi-round determinism across ranks,
+// perturbation, chaos, and crash-resume in each cleaning stage.
+func TestMetaSweepGate(t *testing.T) {
+	skipIfShort(t)
+	row, reports, text := MetaSweep(tinyScale())
+	t.Log("\n" + text)
+	if row.Err != "" {
+		t.Fatalf("sweep error: %s", row.Err)
+	}
+	if !row.Gate() {
+		t.Fatalf("gate failed: %+v", row)
+	}
+	if len(reports) != 2 || reports[0].Dataset != "metagenome-multik" {
+		t.Fatalf("metrics reports: %+v", reports)
+	}
+	// The multi-k report must expose the iterative-round stages and the
+	// pseudo-read counters the later rounds ingest.
+	st := reports[0].Stage("kmer-analysis-k33")
+	if st == nil || st.Counters["pseudo_reads"] <= 0 {
+		t.Fatalf("multi-k report missing pseudo-read evidence: %+v", st)
+	}
+	if !strings.Contains(text, "Iterative-k metagenome sweep") {
+		t.Fatal("missing caption")
+	}
+}

@@ -84,6 +84,24 @@ type Options struct {
 	// traversal terminations, contig depths, gap-closing verification).
 	// 0 uses the default of 4096 slots; negative disables caching.
 	CacheSlots int
+	// PseudoByRank, when non-nil, feeds the iterative-k outer loop's
+	// carried contigs into the analysis as error-free pseudo-reads, one
+	// list per rank (must match the team's rank count). Every k-mer
+	// occurrence in a pseudo-read contributes its Weight to the count and
+	// extension evidence, so a previous round's depth survives the
+	// MinCount screen at the new k. Pseudo-reads always take the per-item
+	// owner path (never super-k-mer blobs or the heavy-hitter bypass):
+	// there are few of them, and the table total stays a plain sum —
+	// partition- and schedule-invariant.
+	PseudoByRank [][]PseudoRead
+}
+
+// PseudoRead is an error-free sequence fed back into k-mer analysis by
+// the iterative-k outer loop: a contig surviving a previous round, with
+// the depth-derived weight each of its k-mer occurrences counts for.
+type PseudoRead struct {
+	Seq    []byte
+	Weight uint32 // 0 is treated as 1
 }
 
 func (o Options) withDefaults() Options {
@@ -211,6 +229,10 @@ type Result struct {
 	// CommBytesSaved is the wire volume the super-k-mer transport avoided
 	// versus shipping each of its windows as a per-item store record.
 	CommBytesSaved int64
+	// PseudoReads and PseudoKmers count the iterative-k pseudo-read input
+	// (0 outside the multi-k outer loop).
+	PseudoReads int64
+	PseudoKmers int64
 	// Phase virtual durations.
 	SketchPhase, BloomPhase, CountPhase xrt.PhaseStats
 }
@@ -266,16 +288,60 @@ func comp(c uint8) uint8 {
 	return 3 - c
 }
 
-func (o occurrence) delta() KmerData {
+func (o occurrence) delta() KmerData { return o.deltaWeighted(1) }
+
+// deltaWeighted is the count/extension contribution of one occurrence
+// observed w times (pseudo-read ingestion).
+func (o occurrence) deltaWeighted(w uint32) KmerData {
 	var d KmerData
-	d.Count = 1
+	d.Count = w
 	if o.left != noExt {
-		d.LeftCnt[o.left]++
+		d.LeftCnt[o.left] += w
 	}
 	if o.right != noExt {
-		d.RightCnt[o.right]++
+		d.RightCnt[o.right] += w
 	}
 	return d
+}
+
+// pseudoOccurrenceAt builds the occurrence of a pseudo-read window:
+// pseudo-reads carry no quality string — every flanking base qualifies
+// as extension evidence.
+func pseudoOccurrenceAt(seq []byte, pos, k int, canon kmer.Kmer, flipped bool) occurrence {
+	left, right := noExt, noExt
+	if pos > 0 {
+		if c, ok := kmer.BaseCode(seq[pos-1]); ok {
+			left = uint8(c)
+		}
+	}
+	if e := pos + k; e < len(seq) {
+		if c, ok := kmer.BaseCode(seq[e]); ok {
+			right = uint8(c)
+		}
+	}
+	if flipped {
+		left, right = comp(right), comp(left)
+	}
+	return occurrence{km: canon, left: left, right: right}
+}
+
+// forEachPseudo canonicalizes every window of every pseudo-read and
+// reports it with its weight; returns the window count.
+func forEachPseudo(prs []PseudoRead, k int, fn func(o occurrence, w uint32)) int {
+	n := 0
+	for _, pr := range prs {
+		w := pr.Weight
+		if w == 0 {
+			w = 1
+		}
+		seq := pr.Seq
+		kmer.ForEach(seq, k, func(pos int, km kmer.Kmer) {
+			canon, flipped := km.Canonical(k)
+			fn(pseudoOccurrenceAt(seq, pos, k, canon, flipped), w)
+			n++
+		})
+	}
+	return n
 }
 
 // forEachSuperKmer segments one read into encoded super-k-mer records:
@@ -331,6 +397,18 @@ func forEachSuperKmer(rec fastq.Record, k, m, qualThresh int, hh map[kmer.Kmer]b
 	return windows
 }
 
+// putPseudoBloom drives every pseudo occurrence through the Bloom apply
+// hook twice, guaranteeing promotion into the shard regardless of the
+// order in which read sightings of the same k-mer arrive — shard
+// membership, and therefore whether the count pass's merge applies, stays
+// deterministic. Returns the window count.
+func putPseudoBloom(table *dht.Table[kmer.Kmer, KmerData], r *xrt.Rank, prs []PseudoRead, k int) int {
+	return forEachPseudo(prs, k, func(o occurrence, _ uint32) {
+		table.Put(r, o.km, KmerData{})
+		table.Put(r, o.km, KmerData{})
+	})
+}
+
 // retainedBlob accumulates the super-k-mer payloads delivered to one
 // owner during the Bloom pass, for local replay in the count pass.
 // Senders append concurrently (a blob flush runs on the sender's
@@ -361,6 +439,19 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	res := &Result{}
 	superk := !opt.DisableSuperKmers
 	minLen := EffectiveMinimizerLen(opt.K, opt.MinimizerLen, opt.DisableSuperKmers)
+	if opt.PseudoByRank != nil && len(opt.PseudoByRank) != p {
+		panic("kanalysis: PseudoByRank must have one list per rank")
+	}
+	pseudoOf := func(id int) []PseudoRead {
+		if opt.PseudoByRank == nil {
+			return nil
+		}
+		return opt.PseudoByRank[id]
+	}
+	for _, prs := range opt.PseudoByRank {
+		res.PseudoReads += int64(len(prs))
+		res.PseudoKmers += int64(forEachPseudo(prs, opt.K, func(occurrence, uint32) {}))
+	}
 
 	// --- pass 1: cardinality + heavy-hitter sketches (free I/O-wise) ----
 	sketches := make([]*hll.Sketch, p)
@@ -381,6 +472,12 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 				n++
 			})
 		}
+		// pseudo-reads feed the cardinality sketch but not Misra–Gries:
+		// their weighted counts would distort the heavy-hitter estimate,
+		// and they always bypass the heavy-hitter path anyway.
+		n += forEachPseudo(pseudoOf(r.ID), opt.K, func(o occurrence, _ uint32) {
+			sk.Add(o.km.Hash(0xc0ffee))
+		})
 		r.ChargeItems(n)
 		sketches[r.ID] = sk
 		summaries[r.ID] = sm
@@ -501,6 +598,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 						table.PutBlob(r, dst, record, nwin)
 					}, &scratch)
 			}
+			n += putPseudoBloom(table, r, pseudoOf(r.ID), opt.K)
 			r.ChargeItems(n)
 			table.Flush(r)
 			hhSets[r.ID] = local
@@ -518,6 +616,7 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 					table.PutHashed(r, h, o.km, KmerData{})
 				})
 			}
+			n += putPseudoBloom(table, r, pseudoOf(r.ID), opt.K)
 			r.ChargeItems(n)
 			table.Flush(r)
 			r.Barrier()
@@ -559,6 +658,9 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 				panic("kanalysis: corrupt retained super-k-mer payload: " + err.Error())
 			}
 			rb.buf = nil
+			wins += forEachPseudo(pseudoOf(r.ID), opt.K, func(o occurrence, w uint32) {
+				table.Put(r, o.km, o.deltaWeighted(w))
+			})
 			r.ChargeItems(wins)
 		} else {
 			local := make(map[kmer.Kmer]*KmerData, len(hhSet))
@@ -579,6 +681,9 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 					table.PutHashed(r, h, o.km, o.delta())
 				})
 			}
+			n += forEachPseudo(pseudoOf(r.ID), opt.K, func(o occurrence, w uint32) {
+				table.Put(r, o.km, o.deltaWeighted(w))
+			})
 			r.ChargeItems(n)
 			hhSets[r.ID] = local
 		}
@@ -653,6 +758,10 @@ func Run(team *xrt.Team, readsByRank [][]fastq.Record, opt Options) *Result {
 	team.AddCounter("superkmers", res.SuperKmers)
 	team.AddCounter("superkmer_bases", res.SuperKmerBases)
 	team.AddCounter("comm_bytes_saved", res.CommBytesSaved)
+	if res.PseudoReads > 0 {
+		team.AddCounter("pseudo_reads", res.PseudoReads)
+		team.AddCounter("pseudo_kmers", res.PseudoKmers)
+	}
 	return res
 }
 

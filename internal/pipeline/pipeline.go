@@ -40,6 +40,18 @@ type Library struct {
 type Config struct {
 	// K is the assembly k-mer length (odd; default 31).
 	K int
+	// KmerLens, when non-empty, runs the MetaHipMer-style iterative-k
+	// outer loop instead of a single k-mer round: for each k in order,
+	// the pipeline runs k-mer analysis, contig generation, tip clipping,
+	// bubble popping, and a pseudo-read merge; the merged contigs of
+	// round i feed round i+1's k-mer analysis as depth-weighted pseudo-
+	// reads. Values must be odd and strictly increasing (the CLI
+	// enforces this). K is forced to the last entry — downstream stages
+	// (scaffolding, gap closing, verification defaults) operate at the
+	// final k, while verification's spectrum check defaults to the
+	// smallest k (every k-mer the early rounds contributed is read-
+	// supported at that length).
+	KmerLens []int
 	// MinCount is the k-mer error-exclusion threshold (default 2).
 	MinCount int
 	// HeavyHitters enables the §3.1 optimization (default on via
@@ -96,6 +108,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.KmerLens) > 0 {
+		c.K = c.KmerLens[len(c.KmerLens)-1]
+	}
 	if c.K <= 0 {
 		c.K = 31
 	}
@@ -184,7 +199,11 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 		}
 	}
 
-	env := &stageEnv{team: team, cfg: cfg, libs: libs, res: &Result{}}
+	env := &stageEnv{
+		team: team, cfg: cfg, libs: libs, res: &Result{},
+		cleanStat: map[string]contig.CleanStats{},
+		mergeStat: map[string]contig.MergeStats{},
+	}
 	var store *ckpt.Store
 	for _, st := range stages {
 		if store != nil && cfg.Resume && st.load != nil && store.Completed(st.name) {
@@ -321,7 +340,14 @@ func (r *Result) runVerify(cfg Config, merged [][]fastq.Record) {
 	}
 	opt := *cfg.Verify
 	if opt.K <= 0 {
-		opt.K = cfg.K
+		if len(cfg.KmerLens) > 0 {
+			// Multi-k output mixes contigs assembled at every k in the
+			// sweep; only windows at the smallest k are guaranteed read-
+			// supported for all of them.
+			opt.K = cfg.KmerLens[0]
+		} else {
+			opt.K = cfg.K
+		}
 	}
 	in := verify.Input{Finals: r.FinalSeqs}
 	for _, part := range merged {
@@ -447,10 +473,22 @@ func SimulatedWheat(seed int64, genomeLen int, coverage float64) ([]byte, []Libr
 // SimulatedMetagenome builds the scaled wetlands-like dataset: many
 // species, log-normal abundances, flat k-mer histogram.
 func SimulatedMetagenome(seed int64, totalLen, species, pairs int) []Library {
+	_, libs := SimulatedMetagenomeRefs(seed, totalLen, species, pairs)
+	return libs
+}
+
+// SimulatedMetagenomeRefs is SimulatedMetagenome, but also returns the
+// per-species references (with abundances) so the abundance-aware
+// verify oracle can judge per-species recovery.
+func SimulatedMetagenomeRefs(seed int64, totalLen, species, pairs int) ([]verify.Species, []Library) {
 	rng := xrt.NewPrng(seed)
 	gs, ab := genome.Metagenome(rng, totalLen, species)
 	recs := genome.SimulateMetagenome(rng, gs, ab, pairs,
 		genome.Library{Name: "wetland", ReadLen: 100, InsertMean: 300, InsertSD: 30},
 		genome.DefaultErrorModel())
-	return []Library{{Name: "wetland", Records: recs, InsertHint: 300}}
+	sp := make([]verify.Species, len(gs))
+	for i, g := range gs {
+		sp[i] = verify.Species{Name: g.Name, Seq: g.Seq, Abundance: ab[i]}
+	}
+	return sp, []Library{{Name: "wetland", Records: recs, InsertHint: 300}}
 }

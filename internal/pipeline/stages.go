@@ -56,6 +56,18 @@ type stageEnv struct {
 	readLibs []scaffold.ReadLib
 	merged   [][]fastq.Record
 
+	// carried is the iterative-k loop's inter-round state: the merged,
+	// globally renumbered contig set a pseudo-merge stage produced, fed
+	// into the next round's k-mer analysis as pseudo-reads. Both the run
+	// and load paths of a pseudo-merge stage set it, so a resume landing
+	// at any stage boundary sees the same carried set a straight run
+	// would.
+	carried []*contig.Contig
+	// cleanStat / mergeStat record each cleaning or merge stage's
+	// counters by stage name, for its save codec.
+	cleanStat map[string]contig.CleanStats
+	mergeStat map[string]contig.MergeStats
+
 	// extraTimings are appended to Result.Timings right after the
 	// current stage's own entry (scaffolding's merAligner sub-timing).
 	extraTimings []StageTiming
@@ -63,55 +75,81 @@ type stageEnv struct {
 
 // stage is one registry entry. save/load are nil for stages that cannot
 // be checkpointed (io: its output is the input fingerprint's domain, so
-// it always reruns).
+// it always reruns). round tags the iterative-k round the stage belongs
+// to (0 outside the multi-k loop) and is recorded in the checkpoint
+// manifest.
 type stage struct {
-	name string
-	run  func(env *stageEnv) error
-	save func(env *stageEnv) ([]byte, error)
-	load func(env *stageEnv, payload []byte) error
+	name  string
+	round int
+	run   func(env *stageEnv) error
+	save  func(env *stageEnv) ([]byte, error)
+	load  func(env *stageEnv, payload []byte) error
 }
 
-// buildStages assembles the registry for a config: io, k-mer analysis,
-// contig generation, then (unless ContigsOnly) scaffolding and gap
-// closing, with one extra scaffolding/gap-closing pair per additional
-// ScaffoldRounds round.
+// buildStages assembles the registry for a config: io, then either the
+// classic single-k pair (k-mer analysis, contig generation) or — when
+// KmerLens is set — the iterative-k loop (per round: k-mer analysis,
+// contig generation, tip clipping, bubble popping, pseudo-read merge),
+// then (unless ContigsOnly) scaffolding and gap closing, with one extra
+// scaffolding/gap-closing pair per additional ScaffoldRounds round.
 func buildStages(cfg Config) []stage {
-	sts := []stage{
-		{name: "io", run: runIO},
-		{
-			name: "kmer-analysis",
-			run:  runKmerAnalysis,
-			save: func(env *stageEnv) ([]byte, error) {
-				m := kanalysis.EffectiveMinimizerLen(env.cfg.K,
-					env.cfg.MinimizerLen, env.cfg.DisableSuperKmers)
-				return ckpt.EncodeKmerStage(env.res.KAnalysis, env.cfg.K, m), nil
-			},
-			load: func(env *stageEnv, payload []byte) error {
-				ka, err := ckpt.DecodeKmerStage(env.team, payload, env.cfg.AggBufSize)
-				if err != nil {
-					return err
-				}
-				env.res.KAnalysis = ka
-				return nil
-			},
-		},
-		{
-			name: "contig-generation",
-			run:  runContigGeneration,
-			save: func(env *stageEnv) ([]byte, error) {
-				return ckpt.EncodeContigStage(env.res.Contigs), nil
-			},
-			load: func(env *stageEnv, payload []byte) error {
-				// The de Bruijn graph is not checkpointed (nothing
-				// downstream reads it); Result.Graph stays nil on resume.
-				cr, err := ckpt.DecodeContigStage(env.team, payload)
-				if err != nil {
-					return err
-				}
-				env.res.Contigs = cr
-				return nil
-			},
-		},
+	saveKmer := func(k int) func(env *stageEnv) ([]byte, error) {
+		return func(env *stageEnv) ([]byte, error) {
+			m := kanalysis.EffectiveMinimizerLen(k,
+				env.cfg.MinimizerLen, env.cfg.DisableSuperKmers)
+			return ckpt.EncodeKmerStage(env.res.KAnalysis, k, m), nil
+		}
+	}
+	loadKmer := func(env *stageEnv, payload []byte) error {
+		ka, err := ckpt.DecodeKmerStage(env.team, payload, env.cfg.AggBufSize)
+		if err != nil {
+			return err
+		}
+		env.res.KAnalysis = ka
+		return nil
+	}
+	saveContig := func(env *stageEnv) ([]byte, error) {
+		return ckpt.EncodeContigStage(env.res.Contigs), nil
+	}
+	loadContig := func(env *stageEnv, payload []byte) error {
+		// The de Bruijn graph is not checkpointed (nothing
+		// downstream reads it); Result.Graph stays nil on resume.
+		cr, err := ckpt.DecodeContigStage(env.team, payload)
+		if err != nil {
+			return err
+		}
+		env.res.Contigs = cr
+		return nil
+	}
+
+	sts := []stage{{name: "io", run: runIO}}
+	if len(cfg.KmerLens) == 0 {
+		sts = append(sts,
+			stage{name: "kmer-analysis", run: runKmerAnalysis,
+				save: saveKmer(cfg.K), load: loadKmer},
+			stage{name: "contig-generation", run: runContigGeneration,
+				save: saveContig, load: loadContig},
+		)
+	} else {
+		mergeK := cfg.KmerLens[0]
+		for i, k := range cfg.KmerLens {
+			round, k, usePseudo := i+1, k, i > 0
+			tipName := fmt.Sprintf("tip-clip-k%d", k)
+			bubName := fmt.Sprintf("bubble-pop-k%d", k)
+			mrgName := fmt.Sprintf("pseudo-merge-k%d", k)
+			sts = append(sts,
+				stage{name: fmt.Sprintf("kmer-analysis-k%d", k), round: round,
+					run: runKmerAnalysisRound(k, usePseudo), save: saveKmer(k), load: loadKmer},
+				stage{name: fmt.Sprintf("contig-generation-k%d", k), round: round,
+					run: runContigRound(k), save: saveContig, load: loadContig},
+				stage{name: tipName, round: round,
+					run: runTipClip(tipName, k), save: saveClean(tipName), load: loadClean},
+				stage{name: bubName, round: round,
+					run: runBubblePop(bubName, k), save: saveClean(bubName), load: loadClean},
+				stage{name: mrgName, round: round,
+					run: runPseudoMerge(mrgName, mergeK, k), save: saveCarry(mrgName), load: loadCarry},
+			)
+		}
 	}
 	if cfg.ContigsOnly {
 		return sts
@@ -198,6 +236,134 @@ func runContigGeneration(env *stageEnv) error {
 		Oracle:     env.cfg.Oracle,
 		AggBufSize: env.cfg.AggBufSize,
 	})
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// iterative-k round stages
+//
+// Each round's five stages are closures over that round's k: analysis
+// and contig generation mirror the single-k stages; the cleaning stages
+// mutate env.res.Contigs in place; the pseudo-merge folds the previous
+// round's carried set into the current survivors and renumbers. All
+// inter-stage state lives in env.res.Contigs / env.carried and every
+// stage has a codec, so a crash at any stage boundary resumes exactly.
+
+// runKmerAnalysisRound is runKmerAnalysis at a specific k; rounds after
+// the first also ingest the previous round's carried contigs as depth-
+// weighted pseudo-reads.
+func runKmerAnalysisRound(k int, usePseudo bool) func(env *stageEnv) error {
+	return func(env *stageEnv) error {
+		opt := kanalysis.Options{
+			K:                 k,
+			MinCount:          env.cfg.MinCount,
+			HeavyHitters:      !env.cfg.DisableHeavyHitters,
+			Theta:             env.cfg.Theta,
+			HHMinCount:        env.cfg.HHMinCount,
+			MinimizerLen:      env.cfg.MinimizerLen,
+			DisableSuperKmers: env.cfg.DisableSuperKmers,
+			AggBufSize:        env.cfg.AggBufSize,
+		}
+		if usePseudo {
+			opt.PseudoByRank = pseudoByRank(env.team.Config().Ranks, env.carried)
+		}
+		env.res.KAnalysis = kanalysis.Run(env.team, env.merged, opt)
+		return nil
+	}
+}
+
+// pseudoByRank deals the carried contigs round-robin into per-rank
+// pseudo-read lists. carried is globally renumbered and sorted, so the
+// deal is deterministic and independent of rank count only in content —
+// per-rank placement varies with p, but k-mer analysis results are
+// placement-invariant (counts are commutative sums).
+func pseudoByRank(p int, carried []*contig.Contig) [][]kanalysis.PseudoRead {
+	prs := make([][]kanalysis.PseudoRead, p)
+	for i, c := range carried {
+		prs[i%p] = append(prs[i%p], kanalysis.PseudoRead{Seq: c.Seq, Weight: c.PseudoWeight})
+	}
+	return prs
+}
+
+func runContigRound(k int) func(env *stageEnv) error {
+	return func(env *stageEnv) error {
+		env.res.Contigs = contig.Run(env.team, env.res.KAnalysis.Table, contig.Options{
+			K:          k,
+			Oracle:     env.cfg.Oracle,
+			AggBufSize: env.cfg.AggBufSize,
+		})
+		return nil
+	}
+}
+
+func runTipClip(name string, k int) func(env *stageEnv) error {
+	return func(env *stageEnv) error {
+		st := contig.ClipTips(env.team, env.res.Contigs, contig.CleanOptions{K: k})
+		env.cleanStat[name] = st
+		env.team.AddCounter("tips_clipped", st.TipsClipped)
+		env.team.AddCounter("clean_bases_removed", st.BasesRemoved)
+		return nil
+	}
+}
+
+func runBubblePop(name string, k int) func(env *stageEnv) error {
+	return func(env *stageEnv) error {
+		st := contig.PopBubbles(env.team, env.res.Contigs, contig.CleanOptions{K: k})
+		env.cleanStat[name] = st
+		env.team.AddCounter("bubbles_popped", st.BubblesPopped)
+		env.team.AddCounter("clean_bases_removed", st.BasesRemoved)
+		return nil
+	}
+}
+
+// runPseudoMerge folds the previous round's carried contigs into the
+// current round's cleaned survivors (localized bubble detection at the
+// sweep's smallest k — see contig.MergeRounds) and re-deals the merged
+// set as the round's contig result. It runs in round 1 too, where it
+// trivially carries everything: every round then ends at the same kind
+// of boundary, so resume logic never special-cases the first round.
+func runPseudoMerge(name string, mergeK, k int) func(env *stageEnv) error {
+	return func(env *stageEnv) error {
+		carried, st := contig.MergeRounds(env.team, env.carried, env.res.Contigs, mergeK, k)
+		env.carried = carried
+		env.res.Contigs = contig.ResultFromContigs(env.team, carried)
+		env.mergeStat[name] = st
+		env.team.AddCounter("pseudo_carried", st.Carried)
+		env.team.AddCounter("pseudo_represented", st.Represented)
+		env.team.AddCounter("pseudo_popped_old", st.PoppedOld)
+		env.team.AddCounter("pseudo_rescued", st.Rescued)
+		return nil
+	}
+}
+
+func saveClean(name string) func(env *stageEnv) ([]byte, error) {
+	return func(env *stageEnv) ([]byte, error) {
+		return ckpt.EncodeCleaningStage(env.res.Contigs, env.cleanStat[name]), nil
+	}
+}
+
+func loadClean(env *stageEnv, payload []byte) error {
+	res, _, err := ckpt.DecodeCleaningStage(payload, env.team.Config().Ranks)
+	if err != nil {
+		return err
+	}
+	env.res.Contigs = res
+	return nil
+}
+
+func saveCarry(name string) func(env *stageEnv) ([]byte, error) {
+	return func(env *stageEnv) ([]byte, error) {
+		return ckpt.EncodeCarryStage(env.carried, env.mergeStat[name]), nil
+	}
+}
+
+func loadCarry(env *stageEnv, payload []byte) error {
+	carried, _, err := ckpt.DecodeCarryStage(payload)
+	if err != nil {
+		return err
+	}
+	env.carried = carried
+	env.res.Contigs = contig.ResultFromContigs(env.team, carried)
 	return nil
 }
 
@@ -295,7 +461,7 @@ func saveStage(env *stageEnv, store *ckpt.Store, st stage) error {
 	if err != nil {
 		return fmt.Errorf("pipeline: checkpointing %s: %w", st.name, err)
 	}
-	entry, err := store.WriteStage(st.name, payload)
+	entry, err := store.WriteStageRound(st.name, st.round, payload)
 	if err != nil {
 		return fmt.Errorf("pipeline: checkpointing %s: %w", st.name, err)
 	}
@@ -345,6 +511,10 @@ func runFingerprint(team *xrt.Team, cfg Config, readLibs []scaffold.ReadLib) str
 	f.Int(int64(tc.RanksPerNode))
 	f.Int(tc.Seed)
 	f.Int(int64(cfg.K))
+	f.Int(int64(len(cfg.KmerLens)))
+	for _, k := range cfg.KmerLens {
+		f.Int(int64(k))
+	}
 	f.Int(int64(cfg.MinCount))
 	f.Bool(cfg.DisableHeavyHitters)
 	f.Int(int64(cfg.Theta))
