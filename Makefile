@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify ckpt chaos meta
+.PHONY: all build vet test race bench verify ckpt chaos meta rescale
 
 all: build vet test
 
@@ -18,13 +18,13 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# One-stop correctness gate (~30 s): build, vet, the short test suite
+# One-stop correctness gate (~1 min): build, vet, the short test suite
 # (exhibit sweeps skip under -short), a targeted race-detector pass over
 # the schedule-perturbation surface (the perturbation layer, DHT flushes,
 # claim/abort traversal, and the perturbation-seed assembly sweep), and a
 # short fuzz smoke over both record parsers. `make test` / `make race`
 # remain the exhaustive versions.
-verify: build vet ckpt chaos meta
+verify: build vet ckpt chaos meta rescale
 	$(GO) test -short ./...
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
@@ -70,6 +70,19 @@ meta:
 	$(GO) test -short -run 'Meta|LowestQuartile' ./internal/verify/
 	$(GO) test -fuzz FuzzCleaningDecode -fuzztime 3s -run '^$$' ./internal/ckpt/
 
+# Elastic-rescale correctness: the re-shard metamorphic battery (resume
+# checkpoints at 1/2/4/8 ranks, mixed-partition directories, multi-k
+# rounds, oracle refusal, pair-deal round trips), the per-entry
+# source-partition manifest tests, and a fuzz smoke over the re-sharding
+# stage decoders seeded with real checkpoint payloads. The RescaleSweep
+# exhibit (crash at every stage x resume at R/2, R, 2R on human+wheat
+# under rotating perturb seeds and a chaos cell) runs in CI's rescale
+# job under -race.
+rescale:
+	$(GO) test -short -run 'Reshard|Rescale' ./internal/pipeline/
+	$(GO) test -short -run 'AdoptTopology|Topology|Reshard' ./internal/ckpt/
+	$(GO) test -fuzz FuzzReshardDecode -fuzztime 3s -run '^$$' ./internal/ckpt/
+
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths,
 # and the minimizer-scan/super-k-mer-encode hot loops. Also writes the
@@ -78,10 +91,14 @@ meta:
 # CI uploads both as the run's observability artifacts. The benchsuite run
 # exits nonzero if the super-k-mer exhibit misses its >=5x message /
 # >=3x byte reduction gate or regresses >10% in stage-1 message count
-# against the committed bench/BENCH_kanalysis.json baseline.
+# against the committed bench/BENCH_kanalysis.json baseline, and if the
+# rescaled-resume benchmark (BENCH_rescale.json) regresses >10% in
+# virtual resume time or redistributed bytes against the committed
+# bench/BENCH_rescale.json baseline.
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x .
 	$(GO) test -run xxx -bench BenchmarkDHTGet ./internal/dht/
 	$(GO) test -run xxx -bench 'BenchmarkMinimizerScan|BenchmarkSuperKmerEncode' ./internal/kmer/
 	$(GO) run ./cmd/benchsuite -metrics-out metrics.json \
-		-bench-out BENCH_kanalysis.json -bench-baseline bench/BENCH_kanalysis.json
+		-bench-out BENCH_kanalysis.json -bench-baseline bench/BENCH_kanalysis.json \
+		-bench-rescale-out BENCH_rescale.json -bench-rescale-baseline bench/BENCH_rescale.json

@@ -8,6 +8,8 @@
 //	benchsuite -all -cores 48,96,192,384,768
 //	benchsuite -chaos -chaos-metrics-out chaos-metrics.json
 //	benchsuite -meta -meta-metrics-out meta-metrics.json
+//	benchsuite -rescale     # elastic-rescale sweep (heavy)
+//	benchsuite -bench-rescale-out BENCH_rescale.json -bench-rescale-baseline bench/BENCH_rescale.json
 package main
 
 import (
@@ -45,6 +47,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "design-choice ablations: Bloom memory, aggregating stores, oracle sizing")
 	verifyF := flag.Bool("verify", false, "metamorphic verification: rank-count invariance, schedule perturbation, assembly oracle")
 	faultResume := flag.Bool("fault-resume", false, "crash-resume sweep: injected rank crashes, checkpoint resume, bit-identical assembly")
+	rescale := flag.Bool("rescale", false, "elastic-rescale sweep: crash at every stage, resume at R/2, R, 2R, bit-identical assembly (heavy; not part of -all)")
 	chaos := flag.Bool("chaos", false, "chaos sweep: message drop/dup injection, retry/dedup layer, bit-identical assembly")
 	chaosMetricsOut := flag.String("chaos-metrics-out", "", "write the chaos runs' metrics reports (JSON array) to this path (implies -chaos)")
 	meta := flag.Bool("meta", false, "iterative-k metagenome sweep: multi-k vs single-k recovery, abundance-aware oracle, multi-round determinism")
@@ -52,6 +55,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-stage metrics reports (human+wheat, JSON array) to this path")
 	benchOut := flag.String("bench-out", "", "run the k-mer-analysis communication benchmark and write BENCH_kanalysis.json to this path")
 	benchBaseline := flag.String("bench-baseline", "", "committed BENCH_kanalysis.json to compare against; exit 1 if stage-1 messages regress >10% (requires -bench-out)")
+	benchRescaleOut := flag.String("bench-rescale-out", "", "run the rescaled-resume cost benchmark and write BENCH_rescale.json to this path")
+	benchRescaleBaseline := flag.String("bench-rescale-baseline", "", "committed BENCH_rescale.json to compare against; exit 1 if resume cost regresses >10% (requires -bench-rescale-out)")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
 	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
@@ -94,8 +99,8 @@ func main() {
 	}
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
-		*faultResume || *chaos || *chaosMetricsOut != "" || *meta || *metaMetricsOut != "" ||
-		*metricsOut != "" || *benchOut != "") {
+		*faultResume || *rescale || *chaos || *chaosMetricsOut != "" || *meta || *metaMetricsOut != "" ||
+		*metricsOut != "" || *benchOut != "" || *benchRescaleOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -160,6 +165,16 @@ func main() {
 		for _, r := range rows {
 			if !r.Gate() {
 				fmt.Fprintf(os.Stderr, "benchsuite: crash-resume sweep failed on %s\n", r.Dataset)
+				os.Exit(1)
+			}
+		}
+	}
+	if *rescale {
+		rows, text := expt.RescaleSweep(sc)
+		fmt.Println(text)
+		for _, r := range rows {
+			if !r.Gate() {
+				fmt.Fprintf(os.Stderr, "benchsuite: elastic-rescale sweep failed on %s/%s\n", r.Dataset, r.Mode)
 				os.Exit(1)
 			}
 		}
@@ -247,6 +262,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("bench comparison vs %s: within 10%% of baseline\n", *benchBaseline)
+		}
+	}
+	if *benchRescaleOut != "" {
+		art, text := expt.BenchRescale(sc)
+		fmt.Println(text)
+		if err := art.WriteFile(*benchRescaleOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote rescale bench artifact to %s\n", *benchRescaleOut)
+		if err := art.Gate(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		if *benchRescaleBaseline != "" {
+			base, err := expt.ReadRescaleArtifact(*benchRescaleBaseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			if err := expt.CompareRescaleArtifacts(base, art, 10); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("rescale bench comparison vs %s: within 10%% of baseline\n", *benchRescaleBaseline)
 		}
 	}
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"errors"
+
+	"hipmer/internal/ckpt"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+// The CLI's exit-code contract for Assemble errors. Usage errors exit 2
+// before Assemble runs; success is 0.
+const (
+	exitRuntimeError        = 1
+	exitInjectedCrash       = 3
+	exitRetryExhausted      = 4
+	exitFingerprintMismatch = 5
+	exitTopologyMismatch    = 6
+)
+
+// exitCodeFor maps an Assemble error onto the contract. Order matters:
+// a retry exhaustion arrives wrapped in a StageFailedError, so it is
+// tested first; the two checkpoint refusals are typed sentinels from
+// internal/ckpt — fingerprint mismatch means "different config/input",
+// topology mismatch means "this rank-count change cannot be re-sharded"
+// (an oracle-placed run), and harnesses react differently to each.
+func exitCodeFor(err error) int {
+	var re *xrt.RetryExhaustedError
+	if errors.As(err, &re) {
+		return exitRetryExhausted
+	}
+	var sf *pipeline.StageFailedError
+	if errors.As(err, &sf) {
+		return exitInjectedCrash
+	}
+	if errors.Is(err, ckpt.ErrTopologyMismatch) {
+		return exitTopologyMismatch
+	}
+	if errors.Is(err, ckpt.ErrFingerprintMismatch) {
+		return exitFingerprintMismatch
+	}
+	return exitRuntimeError
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"hipmer/internal/ckpt"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+// TestExitCodeFor pins the CLI exit-code contract, in particular that
+// the two checkpoint-refusal paths stay distinguishable: harnesses
+// retry a topology mismatch at the recorded rank count, but a
+// fingerprint mismatch means the run itself is wrong.
+func TestExitCodeFor(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"plain", fmt.Errorf("boom"), exitRuntimeError},
+		{"injected-crash",
+			&pipeline.StageFailedError{Stage: "scaffolding", Rank: 3,
+				Err: &xrt.FaultError{Rank: 3}},
+			exitInjectedCrash},
+		{"retry-exhausted-wrapped-in-stage-failure",
+			&pipeline.StageFailedError{Stage: "scaffolding", Rank: 3,
+				Err: &xrt.RetryExhaustedError{Src: 3}},
+			exitRetryExhausted},
+		{"fingerprint-mismatch",
+			fmt.Errorf("resuming: %w", ckpt.ErrFingerprintMismatch),
+			exitFingerprintMismatch},
+		{"topology-mismatch",
+			fmt.Errorf("oracle placement: %w", ckpt.ErrTopologyMismatch),
+			exitTopologyMismatch},
+		{"bad-manifest-is-a-runtime-error",
+			fmt.Errorf("resuming: %w", ckpt.ErrBadManifest),
+			exitRuntimeError},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := exitCodeFor(c.err); got != c.want {
+				t.Fatalf("exitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}

@@ -6,7 +6,7 @@
 //	hipmer -reads lib1.fastq[,insert] [-reads lib2.fastq,4200] \
 //	       -k 31 -ranks 48 -out assembly.fasta [-contigs-only] [-ref ref.fasta] \
 //	       [-kmer-lens 21,33,55] \
-//	       [-ckpt-dir run1.ckpt [-resume]] [-fault-seed N -fail-stage scaffolding] \
+//	       [-ckpt-dir run1.ckpt [-resume [-ranks N]]] [-fault-seed N -fail-stage scaffolding] \
 //	       [-chaos-seed N -drop-rate 0.05 [-retry-budget 16]]
 //
 // -kmer-lens runs the MetaHipMer-style iterative-k loop (metagenome
@@ -17,15 +17,23 @@
 //
 // With -ckpt-dir each stage's output is checkpointed as it completes;
 // rerunning with -resume skips completed stages after validating the
-// checkpoint's config/input fingerprint. -fault-seed/-fail-stage inject a
-// deterministic rank crash for crash-resume testing. -chaos-seed arms the
-// unreliable-transport simulation: messages are dropped/duplicated per
-// -drop-rate and carried by the deterministic retry/backoff/dedup layer;
-// the assembly must be bit-identical to the fault-free run.
+// checkpoint's config/input fingerprint. A resume may change the rank
+// count (elastic rescale): without an explicit -ranks (or with -ranks 0)
+// the run adopts the checkpoint's recorded topology; with one, the
+// recorded stage state is re-sharded onto the new count and the assembly
+// is bit-identical to a from-scratch run at that count.
+// -fault-seed/-fail-stage inject a deterministic rank crash for
+// crash-resume testing. -chaos-seed arms the unreliable-transport
+// simulation: messages are dropped/duplicated per -drop-rate and carried
+// by the deterministic retry/backoff/dedup layer; the assembly must be
+// bit-identical to the fault-free run.
 //
 // Exit codes: 0 success (or verified), 1 runtime/verification error,
 // 2 usage error (validateOptions), 3 injected rank crash (resumable with
-// -resume), 4 chaos retry budget exhausted (also resumable with -resume).
+// -resume), 4 chaos retry budget exhausted (also resumable with -resume),
+// 5 checkpoint written by a different config/input (fingerprint
+// mismatch), 6 checkpoint topology incompatible with this run (e.g. an
+// oracle-placed run resuming at a different rank count).
 package main
 
 import (
@@ -39,7 +47,6 @@ import (
 	"hipmer"
 	"hipmer/internal/fasta"
 	"hipmer/internal/pipeline"
-	"hipmer/internal/xrt"
 )
 
 type libFlags []hipmer.Library
@@ -66,7 +73,7 @@ func main() {
 	k := flag.Int("k", 31, "k-mer length (odd)")
 	kmerLens := flag.String("kmer-lens", "", "comma-separated iterative-k ladder, e.g. 21,33,55 (odd, strictly increasing); runs one assembly round per length with contig feedback, overriding -k")
 	minCount := flag.Int("min-count", 2, "minimum k-mer count (error threshold)")
-	ranks := flag.Int("ranks", 48, "simulated processor count")
+	ranks := flag.Int("ranks", 48, "simulated processor count (with -resume: 0 or omitted adopts the checkpoint's recorded rank count; an explicit value re-shards the checkpoint onto it)")
 	ranksPerNode := flag.Int("ranks-per-node", 24, "simulated cores per node")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("out", "assembly.fasta", "output FASTA path")
@@ -86,6 +93,28 @@ func main() {
 	dropRate := flag.Float64("drop-rate", 0, "per-message loss probability in [0,1) (requires -chaos-seed)")
 	retryBudget := flag.Int("retry-budget", 16, "max retransmissions per message before the run fails (exit 4)")
 	flag.Parse()
+
+	// A resume defaults to the checkpoint's recorded topology: the flag
+	// defaults (48/24) must not silently rescale a checkpoint written at
+	// another rank count, so unless the user explicitly set the flag it
+	// collapses to the adopt-recorded sentinel (Options.Ranks == 0).
+	if *resume {
+		ranksSet, rpnSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ranks":
+				ranksSet = true
+			case "ranks-per-node":
+				rpnSet = true
+			}
+		})
+		if !ranksSet {
+			*ranks = 0
+		}
+		if !rpnSet {
+			*ranksPerNode = 0
+		}
+	}
 
 	var lens []int
 	if *kmerLens != "" {
@@ -143,30 +172,36 @@ func main() {
 
 	res, err := hipmer.Assemble(libs, opts)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
 		var sf *pipeline.StageFailedError
-		var re *xrt.RetryExhaustedError
-		if errors.As(err, &re) {
+		switch code := exitCodeFor(err); code {
+		case exitRetryExhausted:
 			// Chaos retry budget exhausted: distinct exit code so chaos
 			// harnesses can tell transport give-up from a real error.
-			fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
 			if errors.As(err, &sf) && *ckptDir != "" {
 				fmt.Fprintf(os.Stderr, "hipmer: stages before %q are checkpointed in %s; rerun with -resume (any -chaos-seed)\n",
 					sf.Stage, *ckptDir)
 			}
-			os.Exit(4)
-		}
-		if errors.As(err, &sf) {
+			os.Exit(code)
+		case exitInjectedCrash:
 			// Injected crash: distinct exit code so harnesses can tell a
 			// planned failure (resumable via -resume) from a real error.
-			fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
-			if *ckptDir != "" {
+			if errors.As(err, &sf) && *ckptDir != "" {
 				fmt.Fprintf(os.Stderr, "hipmer: stages before %q are checkpointed in %s; rerun with -resume\n",
 					sf.Stage, *ckptDir)
 			}
-			os.Exit(3)
+			os.Exit(code)
+		case exitFingerprintMismatch:
+			fmt.Fprintf(os.Stderr, "hipmer: the checkpoint in %s was written by a different config or input; rerun with the original flags and reads, or start a fresh -ckpt-dir\n",
+				*ckptDir)
+			os.Exit(code)
+		case exitTopologyMismatch:
+			fmt.Fprintf(os.Stderr, "hipmer: the checkpoint in %s cannot be re-sharded onto this run's topology; resume at the recorded rank count\n",
+				*ckptDir)
+			os.Exit(code)
+		default:
+			os.Exit(code)
 		}
-		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
-		os.Exit(1)
 	}
 
 	f, err := os.Create(*out)

@@ -50,10 +50,17 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 	if opt.MinCount < 1 {
 		return fmt.Errorf("-min-count must be >= 1, got %d", opt.MinCount)
 	}
-	if opt.Ranks < 1 {
-		return fmt.Errorf("-ranks must be >= 1, got %d", opt.Ranks)
+	// -ranks 0 is the "adopt the checkpoint's recorded rank count"
+	// sentinel and only meaningful on a resume; anything else below 1 is
+	// a usage error.
+	if opt.Ranks == 0 && opt.Resume {
+		// adopted from the checkpoint manifest (elastic rescale)
+	} else if opt.Ranks < 1 {
+		return fmt.Errorf("-ranks must be >= 1, got %d (0 only with -resume, to adopt the checkpoint's rank count)", opt.Ranks)
 	}
-	if opt.RanksPerNode < 1 {
+	if opt.RanksPerNode == 0 && opt.Resume {
+		// adopted from the checkpoint manifest alongside -ranks 0
+	} else if opt.RanksPerNode < 1 {
 		return fmt.Errorf("-ranks-per-node must be >= 1, got %d", opt.RanksPerNode)
 	}
 	if opt.ScaffoldRounds < 0 {

@@ -23,6 +23,29 @@ func TestValidateOptions(t *testing.T) {
 		{"min-count", func(o *hipmer.Options) { o.MinCount = 0 }, 1, "-min-count"},
 		{"ranks", func(o *hipmer.Options) { o.Ranks = 0 }, 1, "-ranks"},
 		{"ranks-per-node", func(o *hipmer.Options) { o.RanksPerNode = -1 }, 1, "-ranks-per-node"},
+		// Ranks 0 is the adopt-recorded-topology sentinel, legal only on
+		// a resume; negative counts never are.
+		{"ranks-zero-with-resume", func(o *hipmer.Options) {
+			o.Ranks = 0
+			o.Resume = true
+			o.CkptDir = "d"
+		}, 1, ""},
+		{"ranks-per-node-zero-with-resume", func(o *hipmer.Options) {
+			o.Ranks = 0
+			o.RanksPerNode = 0
+			o.Resume = true
+			o.CkptDir = "d"
+		}, 1, ""},
+		{"ranks-negative-with-resume", func(o *hipmer.Options) {
+			o.Ranks = -3
+			o.Resume = true
+			o.CkptDir = "d"
+		}, 1, "-ranks"},
+		{"rescale-explicit-ranks-with-resume", func(o *hipmer.Options) {
+			o.Ranks = 32
+			o.Resume = true
+			o.CkptDir = "d"
+		}, 1, ""},
 		{"rounds", func(o *hipmer.Options) { o.ScaffoldRounds = -2 }, 1, "-rounds"},
 		{"resume-without-dir", func(o *hipmer.Options) { o.Resume = true }, 1, "-ckpt-dir"},
 		{"resume-with-dir", func(o *hipmer.Options) { o.Resume = true; o.CkptDir = "d" }, 1, ""},

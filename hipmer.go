@@ -26,6 +26,7 @@ import (
 	"io"
 	"time"
 
+	"hipmer/internal/ckpt"
 	"hipmer/internal/contig"
 	"hipmer/internal/fastq"
 	"hipmer/internal/genome"
@@ -73,7 +74,12 @@ type Options struct {
 	KmerLens []int
 	// MinCount discards k-mers seen fewer times as erroneous (default 2).
 	MinCount int
-	// Ranks is the simulated processor count (default 16).
+	// Ranks is the simulated processor count (default 16). On a resume
+	// it may differ from the rank count the checkpoint was written at —
+	// the recorded state is re-sharded onto the new team (elastic
+	// rescale) and the assembly is bit-identical to a from-scratch run
+	// at the new count. Ranks 0 with Resume adopts the checkpoint's
+	// recorded rank count instead.
 	Ranks int
 	// RanksPerNode groups ranks into simulated nodes (default 24).
 	RanksPerNode int
@@ -120,7 +126,10 @@ type Options struct {
 	// Resume skips stages already recorded complete in CkptDir's
 	// manifest and rehydrates their outputs instead of recomputing.
 	// Refused when the checkpoint's config/input fingerprint differs
-	// from this run's. Requires CkptDir.
+	// from this run's (ckpt.ErrFingerprintMismatch). A different Ranks
+	// is NOT refused — stage state re-shards onto the new rank count —
+	// unless the run uses an oracle placement, which is rank-count-bound
+	// (ckpt.ErrTopologyMismatch). Requires CkptDir.
 	Resume bool
 	// FaultSeed, with FailStage, arms deterministic fault injection: one
 	// rank crashes partway through the named stage and Assemble returns
@@ -233,6 +242,18 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		}
 		if i > 0 && k <= opt.KmerLens[i-1] {
 			return nil, fmt.Errorf("hipmer: kmer-lens must be strictly increasing, got %v", opt.KmerLens)
+		}
+	}
+	if opt.Resume && opt.CkptDir != "" && opt.Ranks == 0 {
+		// Adopt the checkpoint's recorded topology (the CLI's default
+		// when -resume is given without an explicit -ranks).
+		topo, err := ckpt.ReadTopology(opt.CkptDir)
+		if err != nil {
+			return nil, fmt.Errorf("hipmer: adopting checkpoint topology: %w", err)
+		}
+		opt.Ranks = topo.Ranks
+		if opt.RanksPerNode == 0 {
+			opt.RanksPerNode = topo.RanksPerNode
 		}
 	}
 	if opt.Ranks <= 0 {

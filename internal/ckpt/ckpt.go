@@ -45,8 +45,11 @@ import (
 // counters. v3: stage entries carry an iterative-k round tag, contig
 // payloads carry per-contig pseudo-read weights, and the cleaning and
 // carry codecs (tip-clip / bubble-pop / pseudo-merge stages) joined the
-// format.
-const Schema = "hipmer-ckpt/v3"
+// format. v4: the manifest records the writing run's topology (rank
+// geometry) separately from the config/input fingerprint — which became
+// rank-independent — so a resume may rehydrate the checkpoint onto a
+// different rank count (elastic rescale) instead of refusing it.
+const Schema = "hipmer-ckpt/v4"
 
 // ManifestName is the manifest's filename inside a run directory.
 const ManifestName = "MANIFEST.json"
@@ -59,8 +62,16 @@ var (
 	// checkpoint format version.
 	ErrSchemaMismatch = errors.New("ckpt: manifest schema mismatch")
 	// ErrFingerprintMismatch: the checkpoint belongs to a different
-	// config/input combination and must not seed a resume.
+	// config/input combination and must not seed a resume. The
+	// fingerprint is rank-independent: a topology difference alone never
+	// raises this error (see ErrTopologyMismatch).
 	ErrFingerprintMismatch = errors.New("ckpt: config/input fingerprint mismatch")
+	// ErrTopologyMismatch: the checkpoint's recorded rank geometry is
+	// genuinely incompatible with the resuming run — not merely
+	// different (a different rank count re-shards on load), but
+	// unusable, e.g. a rank-count-bound oracle placement resumed on a
+	// team the placement was not built for.
+	ErrTopologyMismatch = errors.New("ckpt: incompatible checkpoint topology")
 	// ErrCorruptSegment: a segment file failed its structural, CRC, or
 	// content-hash validation.
 	ErrCorruptSegment = errors.New("ckpt: corrupt segment")
@@ -80,6 +91,12 @@ type StageEntry struct {
 	// Round is the iterative-k round the stage belongs to (1-based);
 	// zero for stages outside the multi-k loop.
 	Round int `json:"round,omitempty"`
+	// Ranks is the rank count of the run that wrote this entry — the
+	// payload's source partition. Recorded per entry, not per manifest,
+	// because a rescaled resume appends stages written at its own rank
+	// count to a directory whose earlier entries used another; each
+	// load re-shards from this entry's partition onto the running team.
+	Ranks int `json:"ranks"`
 	// Bytes is the full segment file size (header + payload + CRC).
 	Bytes int64 `json:"bytes"`
 	// CRC32 is the IEEE checksum stored at the segment tail, duplicated
@@ -90,10 +107,26 @@ type StageEntry struct {
 	ContentHash string `json:"content_hash"`
 }
 
+// Topology records the rank geometry of the run that wrote a
+// checkpoint. It is deliberately kept out of the config/input
+// fingerprint: stage payloads are globally canonical (or carry their own
+// source partition), so a resume on a different rank count re-shards
+// them instead of refusing. The record exists so the loader knows the
+// source partition and so a CLI resume without an explicit -ranks can
+// adopt the original geometry.
+type Topology struct {
+	// Ranks is the simulated processor count of the writing run.
+	Ranks int `json:"ranks"`
+	// RanksPerNode is the writing run's node grouping (affects only
+	// locality accounting, never payload content).
+	RanksPerNode int `json:"ranks_per_node"`
+}
+
 // Manifest is the run directory's index.
 type Manifest struct {
 	Schema      string       `json:"schema"`
 	Fingerprint string       `json:"fingerprint"`
+	Topology    Topology     `json:"topology"`
 	Stages      []StageEntry `json:"stages"`
 }
 
@@ -107,6 +140,9 @@ func ParseManifest(b []byte) (*Manifest, error) {
 	}
 	if m.Schema != Schema {
 		return nil, fmt.Errorf("%w: got %q, want %q", ErrSchemaMismatch, m.Schema, Schema)
+	}
+	if m.Topology.Ranks < 1 || m.Topology.RanksPerNode < 1 {
+		return nil, fmt.Errorf("%w: invalid topology %+v", ErrBadManifest, m.Topology)
 	}
 	seen := make(map[string]bool, len(m.Stages))
 	for _, e := range m.Stages {
@@ -126,6 +162,10 @@ func ParseManifest(b []byte) (*Manifest, error) {
 			return nil, fmt.Errorf("%w: stage %q has negative round %d",
 				ErrBadManifest, e.Name, e.Round)
 		}
+		if e.Ranks < 1 {
+			return nil, fmt.Errorf("%w: stage %q has invalid source rank count %d",
+				ErrBadManifest, e.Name, e.Ranks)
+		}
 	}
 	return &m, nil
 }
@@ -134,16 +174,24 @@ func ParseManifest(b []byte) (*Manifest, error) {
 type Store struct {
 	dir string
 	man Manifest
+	// runTopo is the topology of the run currently writing to the store:
+	// the manifest's recorded topology after Create or Resume, replaced
+	// by AdoptTopology when a rescaled resume takes over the directory.
+	// New entries are stamped with its rank count.
+	runTopo Topology
 }
 
-// Create starts a fresh run directory for the given fingerprint, creating
-// it if needed and truncating any previous manifest (stale segments are
-// simply unreferenced; WriteStage replaces them by name).
-func Create(dir, fingerprint string) (*Store, error) {
+// Create starts a fresh run directory for the given fingerprint and
+// topology, creating it if needed and truncating any previous manifest
+// (stale segments are simply unreferenced; WriteStage replaces them by
+// name).
+func Create(dir, fingerprint string, topo Topology) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: creating run directory: %w", err)
 	}
-	s := &Store{dir: dir, man: Manifest{Schema: Schema, Fingerprint: fingerprint}}
+	s := &Store{dir: dir, man: Manifest{
+		Schema: Schema, Fingerprint: fingerprint, Topology: topo,
+	}, runTopo: topo}
 	if err := s.writeManifest(); err != nil {
 		return nil, err
 	}
@@ -152,7 +200,10 @@ func Create(dir, fingerprint string) (*Store, error) {
 
 // Resume opens an existing run directory, refusing schema or fingerprint
 // mismatches: a checkpoint from different inputs or a different config
-// must never seed a resume.
+// must never seed a resume. A topology difference is NOT refused here —
+// the fingerprint is rank-independent and stage loaders re-shard; the
+// caller reads Topology() to learn the source partition and decides
+// whether its own placement constraints allow the rescale.
 func Resume(dir, fingerprint string) (*Store, error) {
 	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -166,11 +217,45 @@ func Resume(dir, fingerprint string) (*Store, error) {
 		return nil, fmt.Errorf("%w: checkpoint %q, run %q",
 			ErrFingerprintMismatch, m.Fingerprint, fingerprint)
 	}
-	return &Store{dir: dir, man: *m}, nil
+	return &Store{dir: dir, man: *m, runTopo: m.Topology}, nil
+}
+
+// AdoptTopology hands the run directory to a resumed run with a
+// different rank geometry (elastic rescale): stages the resumed run
+// writes are stamped with the new rank count, and the manifest's
+// top-level topology — what ReadTopology reports and a later -resume
+// without -ranks adopts — now names the latest run's geometry. Existing
+// entries keep the source partition they were written under.
+func (s *Store) AdoptTopology(topo Topology) error {
+	if topo.Ranks < 1 || topo.RanksPerNode < 1 {
+		return fmt.Errorf("%w: invalid topology %+v", ErrBadManifest, topo)
+	}
+	s.runTopo = topo
+	s.man.Topology = topo
+	return s.writeManifest()
+}
+
+// ReadTopology reads just the recorded topology from a run directory's
+// manifest, without opening the store — the CLI uses it to adopt the
+// checkpoint's rank geometry before building a team.
+func ReadTopology(dir string) (Topology, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Topology{}, fmt.Errorf("ckpt: reading manifest: %w", err)
+	}
+	m, err := ParseManifest(b)
+	if err != nil {
+		return Topology{}, err
+	}
+	return m.Topology, nil
 }
 
 // Dir returns the run directory path.
 func (s *Store) Dir() string { return s.dir }
+
+// Topology returns the rank geometry recorded when the run directory was
+// created — the partition the stage payloads were written under.
+func (s *Store) Topology() Topology { return s.man.Topology }
 
 // Stages returns the manifest's stage entries in checkpoint order.
 func (s *Store) Stages() []StageEntry { return s.man.Stages }
@@ -208,6 +293,7 @@ func (s *Store) WriteStageRound(stage string, round int, payload []byte) (StageE
 		File:        file,
 		Seq:         len(s.man.Stages),
 		Round:       round,
+		Ranks:       s.runTopo.Ranks,
 		Bytes:       int64(len(seg)),
 		CRC32:       crc32.ChecksumIEEE(seg[:len(seg)-4]),
 		ContentHash: hashHex(payload),

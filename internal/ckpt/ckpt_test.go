@@ -12,9 +12,13 @@ import (
 	"hipmer/internal/gapclose"
 )
 
+// testTopo is the recorded topology used by store tests that don't care
+// about rescale semantics.
+var testTopo = Topology{Ranks: 4, RanksPerNode: 2}
+
 func TestStoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Create(dir, "fp-abc")
+	s, err := Create(dir, "fp-abc", testTopo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +67,7 @@ func TestStoreRoundTrip(t *testing.T) {
 
 func TestResumeRefusesFingerprintMismatch(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := Create(dir, "fp-1"); err != nil {
+	if _, err := Create(dir, "fp-1", testTopo); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Resume(dir, "fp-2"); !errors.Is(err, ErrFingerprintMismatch) {
@@ -84,7 +88,7 @@ func TestResumeRefusesSchemaMismatch(t *testing.T) {
 
 func TestResumeRefusesTruncatedManifest(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Create(dir, "fp")
+	s, err := Create(dir, "fp", testTopo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +114,7 @@ func TestResumeRefusesTruncatedManifest(t *testing.T) {
 func TestReadStageDetectsCorruption(t *testing.T) {
 	newStore := func(t *testing.T) (*Store, string) {
 		dir := t.TempDir()
-		s, err := Create(dir, "fp")
+		s, err := Create(dir, "fp", testTopo)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,18 +167,64 @@ func TestReadStageDetectsCorruption(t *testing.T) {
 }
 
 func TestParseManifestRejectsTraversalAndDuplicates(t *testing.T) {
+	// All cases carry a valid schema and topology (except the topology
+	// cases themselves) so ErrBadManifest comes from the asserted defect,
+	// not from a check that happens to fire first.
+	const topo = `"topology":{"ranks":4,"ranks_per_node":2},`
 	cases := []string{
-		`{"schema":"hipmer-ckpt/v3","stages":[{"name":"a","file":"../evil.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v3","stages":[{"name":"a","file":"/abs.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v3","stages":[{"name":"a","file":".hidden"}]}`,
-		`{"schema":"hipmer-ckpt/v3","stages":[{"name":"","file":"x.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v3","stages":[{"name":"a","file":"x.seg"},{"name":"a","file":"y.seg"}]}`,
-		`{"schema":"hipmer-ckpt/v3","stages":[{"name":"a","file":"x.seg","round":-1}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":"../evil.seg","ranks":4}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":"/abs.seg","ranks":4}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":".hidden","ranks":4}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"","file":"x.seg","ranks":4}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":"x.seg","ranks":4},{"name":"a","file":"y.seg","ranks":4}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":"x.seg","round":-1,"ranks":4}]}`,
+		// Every entry must record the partition it was written at; a
+		// missing or non-positive source rank count cannot drive a
+		// re-shard on load.
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":"x.seg"}]}`,
+		`{"schema":"hipmer-ckpt/v4",` + topo + `"stages":[{"name":"a","file":"x.seg","ranks":-2}]}`,
+		// v4 requires a usable recorded topology: missing, zero, or
+		// negative rank geometry cannot drive a re-shard on resume.
+		`{"schema":"hipmer-ckpt/v4","stages":[]}`,
+		`{"schema":"hipmer-ckpt/v4","topology":{"ranks":0,"ranks_per_node":2},"stages":[]}`,
+		`{"schema":"hipmer-ckpt/v4","topology":{"ranks":4,"ranks_per_node":-1},"stages":[]}`,
 	}
 	for _, c := range cases {
 		if _, err := ParseManifest([]byte(c)); !errors.Is(err, ErrBadManifest) {
 			t.Errorf("ParseManifest(%s): err = %v, want ErrBadManifest", c, err)
 		}
+	}
+}
+
+// TestTopologyRoundTrip: the writer's rank geometry survives the
+// manifest round trip, through both a full Resume and the peek-only
+// ReadTopology used by the CLI to adopt a checkpoint's rank count.
+func TestTopologyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	topo := Topology{Ranks: 16, RanksPerNode: 4}
+	s, err := Create(dir, "fp", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Topology(); got != topo {
+		t.Fatalf("Create topology = %+v, want %+v", got, topo)
+	}
+	r, err := Resume(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Topology(); got != topo {
+		t.Fatalf("Resume topology = %+v, want %+v", got, topo)
+	}
+	got, err := ReadTopology(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != topo {
+		t.Fatalf("ReadTopology = %+v, want %+v", got, topo)
+	}
+	if _, err := ReadTopology(t.TempDir()); err == nil {
+		t.Fatal("ReadTopology on an empty dir succeeded")
 	}
 }
 
@@ -218,16 +268,20 @@ func TestFingerprintSensitivity(t *testing.T) {
 // FuzzManifest: no manifest or segment bytes may panic the parsers, and
 // a successful manifest parse must satisfy the documented invariants.
 func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v4","fingerprint":"00","topology":{"ranks":4,"ranks_per_node":2},"stages":[]}`))
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v4","topology":{"ranks":1,"ranks_per_node":1},"stages":[{"name":"a","file":"a.seg","ranks":8}]}`))
 	f.Add([]byte(`{"schema":"hipmer-ckpt/v3","fingerprint":"00","stages":[]}`))
-	f.Add([]byte(`{"schema":"hipmer-ckpt/v3","stages":[{"name":"a","file":"a.seg"}]}`))
 	f.Add([]byte(`{`))
 	f.Add(encodeSegment("kmer-analysis", []byte("payload")))
 	f.Add([]byte(segMagic))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if m, err := ParseManifest(b); err == nil {
+			if m.Topology.Ranks < 1 || m.Topology.RanksPerNode < 1 {
+				t.Fatalf("accepted unusable topology %+v", m.Topology)
+			}
 			seen := map[string]bool{}
 			for _, e := range m.Stages {
-				if e.Name == "" || seen[e.Name] || e.File != filepath.Base(e.File) {
+				if e.Name == "" || seen[e.Name] || e.File != filepath.Base(e.File) || e.Ranks < 1 {
 					t.Fatalf("accepted invalid manifest entry %+v", e)
 				}
 				seen[e.Name] = true
@@ -244,7 +298,7 @@ func FuzzManifest(f *testing.F) {
 
 func TestWriteStageRoundTagsManifest(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Create(dir, "fp")
+	s, err := Create(dir, "fp", testTopo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,6 +317,64 @@ func TestWriteStageRoundTagsManifest(t *testing.T) {
 	}
 	if e := r.Entry("io"); e == nil || e.Round != 0 {
 		t.Fatalf("untagged stage gained a round: %+v", e)
+	}
+	// Both entries record the writing run's partition.
+	for _, name := range []string{"tip-clip-k21", "io"} {
+		if e := r.Entry(name); e.Ranks != testTopo.Ranks {
+			t.Fatalf("entry %s ranks = %d, want %d", name, e.Ranks, testTopo.Ranks)
+		}
+	}
+}
+
+// TestAdoptTopology: a rescaled resume takes over the directory — stages
+// it writes are stamped with its own rank count, earlier entries keep
+// their source partition, and the recorded topology (what a later
+// -resume without -ranks adopts) names the latest run's geometry.
+func TestAdoptTopology(t *testing.T) {
+	dir := t.TempDir()
+	orig := Topology{Ranks: 8, RanksPerNode: 4}
+	s, err := Create(dir, "fp", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteStage("kmer-analysis", []byte("at 8")); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescaled := Topology{Ranks: 2, RanksPerNode: 2}
+	if err := r.AdoptTopology(rescaled); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WriteStage("contig-generation", []byte("at 2")); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Resume(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := r2.Entry("kmer-analysis"); e == nil || e.Ranks != orig.Ranks {
+		t.Fatalf("pre-rescale entry = %+v, want source ranks %d", e, orig.Ranks)
+	}
+	if e := r2.Entry("contig-generation"); e == nil || e.Ranks != rescaled.Ranks {
+		t.Fatalf("post-rescale entry = %+v, want source ranks %d", e, rescaled.Ranks)
+	}
+	if got := r2.Topology(); got != rescaled {
+		t.Fatalf("recorded topology = %+v, want adopted %+v", got, rescaled)
+	}
+	got, err := ReadTopology(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rescaled {
+		t.Fatalf("ReadTopology = %+v, want adopted %+v", got, rescaled)
+	}
+	if err := r2.AdoptTopology(Topology{Ranks: 0, RanksPerNode: 1}); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("adopting an unusable topology: err = %v, want ErrBadManifest", err)
 	}
 }
 

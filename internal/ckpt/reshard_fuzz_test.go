@@ -1,0 +1,112 @@
+// FuzzReshardDecode lives in an external test package so its seed
+// corpus can come from real checkpoints: it runs tiny single-k and
+// multi-k pipelines (package pipeline imports ckpt, so an internal test
+// would cycle) and feeds every stage payload they wrote to the
+// re-sharding decoders under arbitrary target rank counts.
+package ckpt_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hipmer/internal/ckpt"
+	"hipmer/internal/genome"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/xrt"
+)
+
+// realStagePayloads checkpoints a tiny single-k pipeline and a tiny
+// multi-k (round-tagged) pipeline at 3 ranks and returns every stage
+// payload written, cached across fuzz workers. Failures just shrink the
+// corpus — the fuzz target still runs on the synthetic seeds.
+var realStagePayloads = sync.OnceValue(func() [][]byte {
+	team := func() *xrt.Team {
+		return xrt.NewTeam(xrt.Config{Ranks: 3, RanksPerNode: 3, Seed: 11})
+	}
+	rng := xrt.NewPrng(61)
+	g := genome.Random(rng, 6000)
+	recs, _ := genome.SimulatePairs(rng, g, genome.SimOptions{
+		Coverage: 15,
+		Lib:      genome.Library{Name: "fz", ReadLen: 100, InsertMean: 300, InsertSD: 20},
+		Err:      genome.DefaultErrorModel(),
+	})
+	singleLibs := []pipeline.Library{{Name: "fz", Records: recs, InsertHint: 300}}
+	_, multiLibs := pipeline.SimulatedMetagenomeRefs(62, 8000, 3, 1200)
+
+	var payloads [][]byte
+	for _, run := range []struct {
+		libs []pipeline.Library
+		cfg  pipeline.Config
+	}{
+		{singleLibs, pipeline.Config{K: 21, MinCount: 2}},
+		{multiLibs, pipeline.Config{KmerLens: []int{21, 33}, MinCount: 2, ContigsOnly: true}},
+	} {
+		dir, err := os.MkdirTemp("", "reshard-fuzz-corpus")
+		if err != nil {
+			continue
+		}
+		run.cfg.CkptDir = dir
+		if _, err := pipeline.Run(team(), run.libs, run.cfg); err == nil {
+			// The run's fingerprint is whatever it recorded; reading it
+			// back lets Resume open the store it just wrote.
+			if mb, err := os.ReadFile(filepath.Join(dir, ckpt.ManifestName)); err == nil {
+				if m, err := ckpt.ParseManifest(mb); err == nil {
+					if store, err := ckpt.Resume(dir, m.Fingerprint); err == nil {
+						for _, e := range store.Stages() {
+							if b, err := store.ReadStage(e.Name); err == nil {
+								payloads = append(payloads, b)
+							}
+						}
+					}
+				}
+			}
+		}
+		os.RemoveAll(dir)
+	}
+	return payloads
+})
+
+// FuzzReshardDecode: no stage payload — real or corrupt — may panic a
+// re-sharding decoder under any src→target rank mapping; corrupt frames
+// and unusable target rank counts must surface as errors.
+func FuzzReshardDecode(f *testing.F) {
+	for _, b := range realStagePayloads() {
+		for _, dst := range []int{-1, 0, 1, 2, 3, 7} {
+			f.Add(b, dst)
+		}
+	}
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 4)
+
+	f.Fuzz(func(t *testing.T, b []byte, dst int) {
+		if res, err := ckpt.DecodeContigStageReshard(b, dst); err == nil {
+			if res == nil {
+				t.Fatal("contig reshard: nil result with nil error")
+			}
+			if dst < 1 {
+				t.Fatalf("contig reshard accepted %d target ranks", dst)
+			}
+		}
+		if res, _, err := ckpt.DecodeCleaningStageReshard(b, dst); err == nil {
+			if res == nil {
+				t.Fatal("cleaning reshard: nil result with nil error")
+			}
+			if dst < 1 {
+				t.Fatalf("cleaning reshard accepted %d target ranks", dst)
+			}
+		}
+		if res, src, err := ckpt.DecodeScaffoldStageAny(b); err == nil {
+			if res == nil || src < 0 {
+				t.Fatalf("scaffold decode: res=%v src=%d with nil error", res, src)
+			}
+			if err := ckpt.ReshardScaffoldContigs(res, dst); err == nil && dst < 1 {
+				t.Fatalf("scaffold reshard accepted %d target ranks", dst)
+			}
+		}
+		// The partition-free decoders must hold up on the same corpus.
+		_, _, _ = ckpt.DecodeCarryStage(b)
+		_, _ = ckpt.DecodeGapcloseStage(b)
+	})
+}

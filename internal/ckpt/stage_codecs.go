@@ -253,11 +253,46 @@ func EncodeContigStage(res *contig.Result) []byte {
 	return e.b
 }
 
-// DecodeContigStage rebuilds a contig-generation result. The checkpoint
-// must come from a run with the same rank count (the fingerprint
-// guarantees this; the decoder re-checks).
+// DecodeContigStage rebuilds a contig-generation result for a team with
+// the same rank count the checkpoint was written under, preserving the
+// original per-rank lists exactly. Resuming on a different rank count
+// goes through DecodeContigStageReshard instead.
 func DecodeContigStage(team *xrt.Team, b []byte) (*contig.Result, error) {
 	return decodeContigResult(&dec{b: b}, team.Config().Ranks)
+}
+
+// reshardContigResult redistributes a decoded contig result onto
+// dstRanks: the global contig set is flattened, ordered by its globally
+// deterministic content-hash-assigned IDs, and dealt round-robin — the
+// same owner-computes layout contig.ResultFromContigs produces, so every
+// downstream consumer sees a deterministic partition that depends only
+// on the global contig set and the target rank count.
+func reshardContigResult(res *contig.Result, dstRanks int) *contig.Result {
+	flat := res.All() // sorted by ID
+	out := &contig.Result{
+		NumContigs: res.NumContigs, UUKmers: res.UUKmers,
+		Claimed: res.Claimed, Completed: res.Completed,
+		Aborted: res.Aborted, Rounds: res.Rounds,
+		Contigs: make([][]*contig.Contig, dstRanks),
+	}
+	for i, c := range flat {
+		out.Contigs[i%dstRanks] = append(out.Contigs[i%dstRanks], c)
+	}
+	return out
+}
+
+// DecodeContigStageReshard rebuilds a contig-generation result written
+// under any rank count and redistributes it onto dstRanks (elastic
+// rescale). Team-free; never panics on corrupt bytes (fuzzed).
+func DecodeContigStageReshard(b []byte, dstRanks int) (*contig.Result, error) {
+	if dstRanks < 1 {
+		return nil, fmt.Errorf("contig payload: reshard to %d ranks", dstRanks)
+	}
+	res, err := decodeContigResult(&dec{b: b}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return reshardContigResult(res, dstRanks), nil
 }
 
 // ---------------------------------------------------------------------
@@ -292,6 +327,20 @@ func DecodeCleaningStage(b []byte, wantRanks int) (*contig.Result, contig.CleanS
 		return nil, contig.CleanStats{}, fmt.Errorf("cleaning payload: %w", err)
 	}
 	return res, stats, nil
+}
+
+// DecodeCleaningStageReshard rebuilds a cleaning pass written under any
+// rank count and redistributes its surviving contigs onto dstRanks
+// (elastic rescale). Team-free; never panics on corrupt bytes (fuzzed).
+func DecodeCleaningStageReshard(b []byte, dstRanks int) (*contig.Result, contig.CleanStats, error) {
+	if dstRanks < 1 {
+		return nil, contig.CleanStats{}, fmt.Errorf("cleaning payload: reshard to %d ranks", dstRanks)
+	}
+	res, stats, err := DecodeCleaningStage(b, 0)
+	if err != nil {
+		return nil, contig.CleanStats{}, err
+	}
+	return reshardContigResult(res, dstRanks), stats, nil
 }
 
 // ---------------------------------------------------------------------
@@ -421,17 +470,33 @@ func EncodeScaffoldStage(res *scaffold.Result) []byte {
 	return e.b
 }
 
-// DecodeScaffoldStage rebuilds a scaffolding result: the contig map is
+// DecodeScaffoldStage rebuilds a scaffolding result for a team with the
+// same rank count the checkpoint was written under: the contig map is
 // the union of the per-rank lists, exactly as scaffolding itself leaves
-// it.
+// it. Resuming on a different rank count goes through
+// DecodeScaffoldStageAny plus a re-shard transform.
 func DecodeScaffoldStage(team *xrt.Team, b []byte) (*scaffold.Result, error) {
-	d := &dec{b: b}
-	res := &scaffold.Result{Contigs: make(map[int64]*scaffold.SContig)}
-	ranks := d.count(8)
-	if d.err == nil && ranks != team.Config().Ranks {
+	res, ranks, err := DecodeScaffoldStageAny(b)
+	if err != nil {
+		return nil, err
+	}
+	if ranks != team.Config().Ranks {
 		return nil, fmt.Errorf("scaffold payload: %d rank partitions, team has %d",
 			ranks, team.Config().Ranks)
 	}
+	return res, nil
+}
+
+// DecodeScaffoldStageAny rebuilds a scaffolding result written under any
+// rank count, returning the source rank count alongside it. The per-rank
+// structures (ContigsByRank, Alignments) are left in the source
+// partition; callers rescaling onto a different rank count apply
+// ReshardScaffoldContigs and remap the alignments against their own read
+// partition. Team-free; never panics on corrupt bytes (fuzzed).
+func DecodeScaffoldStageAny(b []byte) (*scaffold.Result, int, error) {
+	d := &dec{b: b}
+	res := &scaffold.Result{Contigs: make(map[int64]*scaffold.SContig)}
+	ranks := d.count(8)
 	res.ContigsByRank = make([][]*scaffold.SContig, ranks)
 	for r := 0; r < ranks; r++ {
 		n := d.count(8 + 8 + 8 + 2 + 32 + 2 + 8 + 1)
@@ -515,9 +580,33 @@ func DecodeScaffoldStage(team *xrt.Team, b []byte) (*scaffold.Result, error) {
 		res.Alignments = append(res.Alignments, lib)
 	}
 	if err := d.done(); err != nil {
-		return nil, fmt.Errorf("scaffold payload: %w", err)
+		return nil, 0, fmt.Errorf("scaffold payload: %w", err)
 	}
-	return res, nil
+	return res, ranks, nil
+}
+
+// ReshardScaffoldContigs redistributes a decoded scaffold result's
+// surviving contigs onto dstRanks: the global contig set (IDs are
+// globally deterministic content-hash ranks) is ordered by ID and dealt
+// round-robin, the same owner-computes layout the contig re-shard uses.
+// Global structures (Contigs map, Scaffolds, Links, insert estimates)
+// are untouched; Alignments remain in the source read partition and are
+// remapped separately against the resuming run's own read layout.
+func ReshardScaffoldContigs(res *scaffold.Result, dstRanks int) error {
+	if dstRanks < 1 {
+		return fmt.Errorf("scaffold payload: reshard to %d ranks", dstRanks)
+	}
+	var flat []*scaffold.SContig
+	for _, cs := range res.ContigsByRank {
+		flat = append(flat, cs...)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].ID < flat[j].ID })
+	byRank := make([][]*scaffold.SContig, dstRanks)
+	for i, sc := range flat {
+		byRank[i%dstRanks] = append(byRank[i%dstRanks], sc)
+	}
+	res.ContigsByRank = byRank
+	return nil
 }
 
 // ---------------------------------------------------------------------

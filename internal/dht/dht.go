@@ -234,12 +234,19 @@ func New[K comparable, V any](team *xrt.Team, opt Options[K],
 	return t
 }
 
-// ownerOf places a key hash under the current placement.
+// ownerOf places a key hash under the current placement. A placement
+// function built for a different rank geometry (an oracle vector from
+// another grid reaching a rescaled team) must never index outside this
+// team's shards, so out-of-range answers fall back to the uniform
+// layout instead of corrupting memory.
 func (t *Table[K, V]) ownerOf(h uint64) int {
+	p := t.team.Config().Ranks
 	if t.opt.Place != nil {
-		return t.opt.Place(h)
+		if o := t.opt.Place(h); 0 <= o && o < p {
+			return o
+		}
 	}
-	return int(h % uint64(t.team.Config().Ranks))
+	return int(h % uint64(p))
 }
 
 // placeKey resolves the owner of key k whose Options.Hash value is h:

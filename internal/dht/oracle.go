@@ -54,6 +54,13 @@ func (o *Oracle) Place(h uint64) int {
 	return int(h % uint64(o.ranks))
 }
 
+// Ranks returns the rank count the assignment vector was built for. A
+// vector is only usable on a team of exactly this size — placement is
+// rank-count-bound, which is why an oracle-placed run cannot resume a
+// checkpoint on a different rank count (elastic rescale refuses it with
+// a topology-mismatch error).
+func (o *Oracle) Ranks() int { return o.ranks }
+
 // Collisions returns the number of conflicting assignments observed while
 // building the vector — an upper-bound estimate of residual communication.
 func (o *Oracle) Collisions() int64 { return o.collisions.Load() }

@@ -1,0 +1,447 @@
+package expt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hipmer/internal/ckpt"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/verify"
+	"hipmer/internal/xrt"
+)
+
+// The elastic-rescale sweep: checkpoints written at rescaleRanks are
+// resumed at half, the same, and twice the rank count. Perturb seeds
+// rotate across grid cells and one cell per row runs under message
+// chaos, so re-sharding is proven compatible with both nondeterministic
+// schedules and unreliable transport.
+const (
+	rescaleRanks     = 16
+	rescaleChaosSeed = 9
+)
+
+var (
+	rescaleTargets      = []int{rescaleRanks / 2, rescaleRanks, 2 * rescaleRanks}
+	rescalePerturbSeeds = []int64{1, 2, 3, 4}
+	rescaleFaultSeeds   = []int64{50, 191, 346, 530}
+)
+
+// RescaleRow is one (dataset, pipeline mode) verdict of the elastic-
+// rescale sweep: for every checkpointable stage the pipeline runs at
+// rescaleRanks with an injected crash in that stage, then the partial
+// checkpoint is resumed at each target rank count (on a private copy of
+// the directory — a resume completes the run and writes entries at its
+// own rank count) and the assembly must match an independent
+// from-scratch run at that count.
+type RescaleRow struct {
+	Dataset string
+	// Mode is "single-k" or "multi-k" (the iterative-k ladder).
+	Mode string
+	// Stages is the number of checkpointable stages crashed at.
+	Stages int
+	// Crashes counts cells whose injected fault actually fired (a
+	// countdown can outlive a short stage; its resume then rehydrates a
+	// complete checkpoint, which is also checked).
+	Crashes int
+	// Resumes / Expected count completed vs attempted rescaled resumes
+	// (stages × rank targets).
+	Resumes, Expected int
+	// BitIdentical: every resumed assembly matched the from-scratch run
+	// at its target rank count.
+	BitIdentical bool
+	// LoadedBytes: every resume of a non-empty checkpoint reported
+	// checkpoint-load spans with nonzero bytes.
+	LoadedBytes bool
+	// Err is the first error encountered, for the report.
+	Err string
+}
+
+// Gate is the sweep's acceptance bar: every rescaled resume completed
+// bit-identically with real checkpoint-load traffic and at least one
+// cell produced an actual mid-stage crash.
+func (r RescaleRow) Gate() bool {
+	return r.BitIdentical && r.LoadedBytes &&
+		r.Resumes == r.Expected && r.Expected > 0 && r.Crashes > 0
+}
+
+// checkpointableStages lists a config's stage names that can be crashed
+// at and later rehydrated (everything but io, which always reruns).
+func checkpointableStages(cfg pipeline.Config) []string {
+	var out []string
+	for _, name := range pipeline.StageNames(cfg) {
+		if name != "io" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// copyDir clones a (flat) checkpoint directory so each rescaled resume
+// gets a private copy: completing a resume appends stage entries at the
+// resuming rank count, which must not leak into the next grid cell.
+func copyDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ckptEntryCount reports how many stage entries a checkpoint directory
+// holds (zero when the crash landed in the first checkpointable stage).
+func ckptEntryCount(dir string) int {
+	b, err := os.ReadFile(filepath.Join(dir, ckpt.ManifestName))
+	if err != nil {
+		return 0
+	}
+	m, err := ckpt.ParseManifest(b)
+	if err != nil {
+		return 0
+	}
+	return len(m.Stages)
+}
+
+// ckptLoadBytes sums the ckpt_bytes counters over every checkpoint-load
+// span — the volume the resume redistributed across the new partition.
+func ckptLoadBytes(res *pipeline.Result) int64 {
+	if res.Metrics == nil {
+		return 0
+	}
+	var total int64
+	for _, st := range res.Metrics.Stages {
+		if strings.HasPrefix(st.Name, "checkpoint-load:") {
+			total += st.Counters["ckpt_bytes"]
+		}
+	}
+	return total
+}
+
+// RescaleSweep proves elastic rescale end to end: crash at every
+// checkpointable stage at rescaleRanks, resume each partial checkpoint
+// at R/2, R, and 2R, and require the completed assembly to be
+// bit-identical (as a canonical multiset) to a from-scratch run at the
+// target rank count — for the single-k pipeline and the iterative-k
+// ladder, on the human and wheat datasets, under rotating perturb seeds
+// with one chaos-armed cell per row.
+func RescaleSweep(sc Scale) ([]RescaleRow, string) {
+	type mode struct {
+		name string
+		cfg  pipeline.Config
+	}
+	modes := []mode{
+		{"single-k", pipeline.Config{K: sc.K, MinCount: 3}},
+		{"multi-k", pipeline.Config{KmerLens: []int{21, 33}, MinCount: 3}},
+	}
+	type dataset struct {
+		name string
+		libs []pipeline.Library
+	}
+	_, hLibs := pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+	_, wLibs := pipeline.SimulatedWheat(sc.Seed+3, sc.WheatLen, sc.WheatCov)
+	datasets := []dataset{{"human", hLibs}, {"wheat", wLibs}}
+
+	fail := func(row *RescaleRow, err error) {
+		row.BitIdentical = false
+		if row.Err == "" {
+			row.Err = err.Error()
+		}
+	}
+
+	var rows []RescaleRow
+	cell := 0
+	for _, ds := range datasets {
+		for _, md := range modes {
+			row := RescaleRow{
+				Dataset: ds.name, Mode: md.name,
+				BitIdentical: true, LoadedBytes: true,
+			}
+			base := map[int]map[string]int{}
+			for _, p := range rescaleTargets {
+				res, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(p)), ds.libs, md.cfg)
+				if err != nil {
+					fail(&row, err)
+					break
+				}
+				base[p] = verify.CanonicalSet(res.FinalSeqs)
+			}
+			if row.Err != "" {
+				rows = append(rows, row)
+				continue
+			}
+
+			stages := checkpointableStages(md.cfg)
+			row.Stages = len(stages)
+			for si, stg := range stages {
+				dir, err := os.MkdirTemp("", "hipmer-rescale-*")
+				if err != nil {
+					fail(&row, err)
+					break
+				}
+				cfg := md.cfg
+				cfg.CkptDir = dir
+				cfg.Fault = xrt.FaultPlan{Seed: rescaleFaultSeeds[si%len(rescaleFaultSeeds)], Stage: stg}
+				_, err = pipeline.Run(xrt.NewTeam(sc.teamCfg(rescaleRanks)), ds.libs, cfg)
+				var sf *pipeline.StageFailedError
+				switch {
+				case errors.As(err, &sf):
+					row.Crashes++
+				case err != nil:
+					fail(&row, err)
+					os.RemoveAll(dir)
+					continue
+				}
+				entries := ckptEntryCount(dir)
+				chaosCell := si == len(stages)-1
+
+				for _, p := range rescaleTargets {
+					row.Expected++
+					rdir, err := os.MkdirTemp("", "hipmer-rescale-resume-*")
+					if err != nil {
+						fail(&row, err)
+						break
+					}
+					if err := copyDir(dir, rdir); err != nil {
+						fail(&row, err)
+						os.RemoveAll(rdir)
+						continue
+					}
+					rcfg := md.cfg
+					rcfg.CkptDir = rdir
+					rcfg.Resume = true
+					tc := sc.teamCfg(p)
+					tc.Perturb = xrt.PerturbPlan{Seed: rescalePerturbSeeds[cell%len(rescalePerturbSeeds)]}
+					if chaosCell {
+						tc.Chaos = xrt.MessageFaultPlan{Seed: rescaleChaosSeed}
+					}
+					res, err := pipeline.Run(xrt.NewTeam(tc), ds.libs, rcfg)
+					if err != nil {
+						fail(&row, fmt.Errorf("%s: resume %d->%d: %w", stg, rescaleRanks, p, err))
+						os.RemoveAll(rdir)
+						continue
+					}
+					row.Resumes++
+					if !verify.EqualSets(base[p], verify.CanonicalSet(res.FinalSeqs)) {
+						row.BitIdentical = false
+						if row.Err == "" {
+							row.Err = fmt.Sprintf("%s: resume %d->%d diverged from from-scratch run",
+								stg, rescaleRanks, p)
+						}
+					}
+					if entries > 0 && !hasCkptLoadBytes(res) {
+						row.LoadedBytes = false
+					}
+					os.RemoveAll(rdir)
+					cell++
+				}
+				os.RemoveAll(dir)
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Dataset,
+			r.Mode,
+			fmt.Sprintf("%d", r.Stages),
+			fmt.Sprintf("%d/%d", r.Crashes, r.Stages),
+			fmt.Sprintf("%d/%d", r.Resumes, r.Expected),
+			pass(r.BitIdentical),
+			pass(r.LoadedBytes),
+		})
+	}
+	text := fmt.Sprintf("Elastic-rescale sweep (crash at every stage at %d ranks -> resume at %v -> bit-identical to from-scratch)\n",
+		rescaleRanks, rescaleTargets) +
+		fmtTable([]string{"dataset", "mode", "stages", "crashed", "resumed", "assembly", "ckpt bytes"}, tab)
+	for _, r := range rows {
+		if r.Err != "" {
+			text += fmt.Sprintf("  %s/%s: %s\n", r.Dataset, r.Mode, r.Err)
+		}
+	}
+	return rows, text
+}
+
+// ---------------------------------------------------------------------
+// BENCH_rescale.json: the rescaled-resume cost trajectory.
+
+// BenchRescaleSchema versions the BENCH_rescale.json artifact.
+const BenchRescaleSchema = "hipmer-bench-rescale/v1"
+
+// RescaleBenchRow is one R->R' resume of a fully-checkpointed run: how
+// long the rescaled resume took (wall and virtual) and how many bytes
+// the re-shard redistributed.
+type RescaleBenchRow struct {
+	Dataset    string  `json:"dataset"`
+	FromRanks  int     `json:"from_ranks"`
+	ToRanks    int     `json:"to_ranks"`
+	WallSec    float64 `json:"wall_sec"`
+	VirtualSec float64 `json:"virtual_sec"`
+	LoadBytes  int64   `json:"load_bytes"`
+}
+
+// RescaleArtifact is the perf-trajectory record committed as
+// bench/BENCH_rescale.json and regenerated by every bench run so CI can
+// catch resume-cost regressions.
+type RescaleArtifact struct {
+	Schema string            `json:"schema"`
+	Seed   int64             `json:"seed"`
+	K      int               `json:"k"`
+	Rows   []RescaleBenchRow `json:"rows"`
+}
+
+// Gate requires every resume to have moved real checkpoint bytes in
+// simulated time — a zero says the resume silently recomputed.
+func (a *RescaleArtifact) Gate() error {
+	if len(a.Rows) == 0 {
+		return fmt.Errorf("rescale bench gate: no rows")
+	}
+	for _, r := range a.Rows {
+		if r.LoadBytes <= 0 {
+			return fmt.Errorf("rescale bench gate: %s %d->%d loaded no checkpoint bytes",
+				r.Dataset, r.FromRanks, r.ToRanks)
+		}
+		if r.VirtualSec <= 0 {
+			return fmt.Errorf("rescale bench gate: %s %d->%d reports no virtual time",
+				r.Dataset, r.FromRanks, r.ToRanks)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *RescaleArtifact) WriteFile(path string) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadRescaleArtifact loads a committed artifact.
+func ReadRescaleArtifact(path string) (*RescaleArtifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a RescaleArtifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("expt: parsing %s: %w", path, err)
+	}
+	if a.Schema != BenchRescaleSchema {
+		return nil, fmt.Errorf("expt: %s schema %q, want %q", path, a.Schema, BenchRescaleSchema)
+	}
+	return &a, nil
+}
+
+// CompareRescaleArtifacts fails when any R->R' row present in both
+// artifacts regressed its virtual resume time or its redistributed
+// byte volume by more than tolPct percent versus the committed
+// baseline. Wall time is recorded but not gated — it measures the host,
+// not the code.
+func CompareRescaleArtifacts(baseline, current *RescaleArtifact, tolPct float64) error {
+	cur := make(map[string]RescaleBenchRow, len(current.Rows))
+	for _, r := range current.Rows {
+		cur[fmt.Sprintf("%s@%d->%d", r.Dataset, r.FromRanks, r.ToRanks)] = r
+	}
+	for _, b := range baseline.Rows {
+		key := fmt.Sprintf("%s@%d->%d", b.Dataset, b.FromRanks, b.ToRanks)
+		c, ok := cur[key]
+		if !ok {
+			continue
+		}
+		if float64(c.LoadBytes) > float64(b.LoadBytes)*(1+tolPct/100) {
+			return fmt.Errorf("rescale regression: %s redistributed %d bytes > baseline %d +%.0f%%",
+				key, c.LoadBytes, b.LoadBytes, tolPct)
+		}
+		if c.VirtualSec > b.VirtualSec*(1+tolPct/100) {
+			return fmt.Errorf("rescale regression: %s virtual resume %.3fs > baseline %.3fs +%.0f%%",
+				key, c.VirtualSec, b.VirtualSec, tolPct)
+		}
+	}
+	return nil
+}
+
+// BenchRescale measures the rescaled-resume cost trajectory: one full
+// checkpointed single-k run per dataset at rescaleRanks, then a resume
+// of the complete checkpoint at each target rank count on a private
+// directory copy (a full resume writes nothing, but the copy keeps the
+// adopted-topology manifest rewrite out of the shared source).
+func BenchRescale(sc Scale) (*RescaleArtifact, string) {
+	art := &RescaleArtifact{Schema: BenchRescaleSchema, Seed: sc.Seed, K: sc.K}
+	for _, dataset := range []string{"human", "wheat"} {
+		var libs []pipeline.Library
+		if dataset == "human" {
+			_, libs = pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+		} else {
+			_, libs = pipeline.SimulatedWheat(sc.Seed+3, sc.WheatLen, sc.WheatCov)
+		}
+		dir, err := os.MkdirTemp("", "hipmer-rescale-bench-*")
+		if err != nil {
+			continue
+		}
+		cfg := pipeline.Config{K: sc.K, MinCount: 3, CkptDir: dir}
+		if _, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(rescaleRanks)), libs, cfg); err != nil {
+			os.RemoveAll(dir)
+			continue
+		}
+		for _, p := range rescaleTargets {
+			rdir, err := os.MkdirTemp("", "hipmer-rescale-bench-resume-*")
+			if err != nil {
+				continue
+			}
+			if err := copyDir(dir, rdir); err != nil {
+				os.RemoveAll(rdir)
+				continue
+			}
+			rcfg := pipeline.Config{K: sc.K, MinCount: 3, CkptDir: rdir, Resume: true}
+			start := time.Now()
+			res, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(p)), libs, rcfg)
+			wall := time.Since(start)
+			os.RemoveAll(rdir)
+			if err != nil {
+				continue
+			}
+			art.Rows = append(art.Rows, RescaleBenchRow{
+				Dataset:    dataset,
+				FromRanks:  rescaleRanks,
+				ToRanks:    p,
+				WallSec:    wall.Seconds(),
+				VirtualSec: res.Timing("total").Virtual.Seconds(),
+				LoadBytes:  ckptLoadBytes(res),
+			})
+		}
+		os.RemoveAll(dir)
+	}
+
+	var tab [][]string
+	for _, r := range art.Rows {
+		tab = append(tab, []string{
+			r.Dataset,
+			fmt.Sprintf("%d->%d", r.FromRanks, r.ToRanks),
+			fmt.Sprintf("%.3f", r.VirtualSec),
+			fmt.Sprintf("%.3f", r.WallSec),
+			fmt.Sprintf("%d", r.LoadBytes),
+		})
+	}
+	text := "BENCH — rescaled resume cost (full checkpoint, resume at R/2, R, 2R)\n" +
+		fmtTable([]string{"dataset", "ranks", "virtual(s)", "wall(s)", "redistributed bytes"}, tab)
+	return art, text
+}

@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRescaleSweepAllGreen runs the elastic-rescale battery at tiny
+// scale. Deliberately NOT gated behind -short: this is the CI rescale
+// job's workload, sized to stay fast.
+func TestRescaleSweepAllGreen(t *testing.T) {
+	rows, text := RescaleSweep(tinyScale())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want human/wheat x single-k/multi-k", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s/%s: sweep error: %s", r.Dataset, r.Mode, r.Err)
+		}
+		if r.Crashes == 0 {
+			t.Errorf("%s/%s: no injected fault produced a crash across %d stages", r.Dataset, r.Mode, r.Stages)
+		}
+		if r.Resumes != r.Expected {
+			t.Errorf("%s/%s: only %d/%d rescaled resumes completed", r.Dataset, r.Mode, r.Resumes, r.Expected)
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s/%s: a rescaled resume diverged from the from-scratch assembly", r.Dataset, r.Mode)
+		}
+		if !r.LoadedBytes {
+			t.Errorf("%s/%s: a resume of a non-empty checkpoint reported no load bytes", r.Dataset, r.Mode)
+		}
+		if !r.Gate() {
+			t.Errorf("%s/%s: gate failed: %+v", r.Dataset, r.Mode, r)
+		}
+	}
+	if !strings.Contains(text, "single-k") || !strings.Contains(text, "multi-k") {
+		t.Fatalf("report missing modes:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}
+
+// TestBenchRescaleArtifact measures the resume-cost trajectory at tiny
+// scale, gates it, and proves the artifact round-trips and the
+// regression comparator fires on an injected slowdown.
+func TestBenchRescaleArtifact(t *testing.T) {
+	skipIfShort(t)
+	art, text := BenchRescale(tinyScale())
+	if err := art.Gate(); err != nil {
+		t.Fatalf("gate: %v\n%s", err, text)
+	}
+	if len(art.Rows) != 2*len(rescaleTargets) {
+		t.Fatalf("got %d rows, want %d", len(art.Rows), 2*len(rescaleTargets))
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_rescale.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRescaleArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(art.Rows) || back.Schema != BenchRescaleSchema {
+		t.Fatalf("round trip mangled artifact: %+v", back)
+	}
+
+	if err := CompareRescaleArtifacts(back, art, 10); err != nil {
+		t.Fatalf("self-comparison must pass: %v", err)
+	}
+	slow := *art
+	slow.Rows = append([]RescaleBenchRow(nil), art.Rows...)
+	slow.Rows[0].VirtualSec *= 1.25
+	if err := CompareRescaleArtifacts(back, &slow, 10); err == nil {
+		t.Fatal("25%% virtual-time regression passed a 10%% gate")
+	}
+	bloat := *art
+	bloat.Rows = append([]RescaleBenchRow(nil), art.Rows...)
+	bloat.Rows[1].LoadBytes = bloat.Rows[1].LoadBytes*2 + 1
+	if err := CompareRescaleArtifacts(back, &bloat, 10); err == nil {
+		t.Fatal("2x byte-volume regression passed a 10%% gate")
+	}
+	t.Logf("\n%s", text)
+}

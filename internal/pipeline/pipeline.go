@@ -98,8 +98,13 @@ type Config struct {
 	CkptDir string
 	// Resume skips stages already recorded complete in CkptDir's
 	// manifest, rehydrating their outputs from the checkpoint instead.
-	// The manifest's config/input fingerprint must match this run's;
-	// a mismatched resume is refused. Requires CkptDir.
+	// The manifest's config/input fingerprint must match this run's; a
+	// mismatched resume is refused (ckpt.ErrFingerprintMismatch). The
+	// rank count may differ — the fingerprint is rank-independent and
+	// every load path re-shards the recorded state onto this team
+	// (elastic rescale) — except when Oracle is set: oracle placement is
+	// rank-count-bound, so that resume is refused with
+	// ckpt.ErrTopologyMismatch. Requires CkptDir.
 	Resume bool
 	// Fault, when enabled, deterministically crashes one rank inside the
 	// named stage (see xrt.FaultPlan); Run then returns a
@@ -226,12 +231,38 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 		if st.name == "io" && cfg.CkptDir != "" {
 			// The store opens only after io: the fingerprint's domain is
 			// the parsed read content, so io always reruns.
-			fp := runFingerprint(team, cfg, env.readLibs)
+			fp, ferr := runFingerprint(team, cfg, libs, env.readLibs)
+			if ferr != nil {
+				return nil, ferr
+			}
 			var serr error
 			if cfg.Resume {
 				store, serr = ckpt.Resume(cfg.CkptDir, fp)
+				if serr == nil {
+					// Per-entry source partitions drive load-time
+					// re-sharding (elastic rescale); only oracle-placed
+					// runs refuse a rank-count difference. A rescaled
+					// resume adopts the directory: stages it writes are
+					// stamped with its own rank count and the recorded
+					// topology now names this run's geometry.
+					topo := ckpt.Topology{
+						Ranks:        team.Config().Ranks,
+						RanksPerNode: team.Config().RanksPerNode,
+					}
+					if err := checkRescale(cfg, store, team.Config().Ranks); err != nil {
+						return nil, err
+					}
+					if store.Topology() != topo {
+						if err := store.AdoptTopology(topo); err != nil {
+							return nil, err
+						}
+					}
+				}
 			} else {
-				store, serr = ckpt.Create(cfg.CkptDir, fp)
+				store, serr = ckpt.Create(cfg.CkptDir, fp, ckpt.Topology{
+					Ranks:        team.Config().Ranks,
+					RanksPerNode: team.Config().RanksPerNode,
+				})
 			}
 			if serr != nil {
 				return nil, serr

@@ -71,6 +71,21 @@ type stageEnv struct {
 	// extraTimings are appended to Result.Timings right after the
 	// current stage's own entry (scaffolding's merAligner sub-timing).
 	extraTimings []StageTiming
+
+	// srcRanks is the source partition of the stage entry currently
+	// being loaded — the rank count of the run that wrote it, stamped
+	// per entry in the manifest (zero outside loadStage). A checkpoint
+	// directory can mix partitions: a rescaled resume appends stages at
+	// its own rank count next to the original run's, so the re-shard
+	// decision is per entry, not per manifest.
+	srcRanks int
+}
+
+// rescaling reports whether the stage entry being loaded was written at
+// a different rank count than this team's (elastic rescale), i.e. the
+// load must re-shard its payload onto the current partition.
+func (env *stageEnv) rescaling() bool {
+	return env.srcRanks != 0 && env.srcRanks != env.team.Config().Ranks
 }
 
 // stage is one registry entry. save/load are nil for stages that cannot
@@ -100,6 +115,10 @@ func buildStages(cfg Config) []stage {
 			return ckpt.EncodeKmerStage(env.res.KAnalysis, k, m), nil
 		}
 	}
+	// loadKmer needs no re-shard branch: the payload lists entries in
+	// global k-mer order and the decoder repartitions them through the
+	// current team's OwnerHash placement, so any rank count rebuilds the
+	// same table.
 	loadKmer := func(env *stageEnv, payload []byte) error {
 		ka, err := ckpt.DecodeKmerStage(env.team, payload, env.cfg.AggBufSize)
 		if err != nil {
@@ -114,6 +133,14 @@ func buildStages(cfg Config) []stage {
 	loadContig := func(env *stageEnv, payload []byte) error {
 		// The de Bruijn graph is not checkpointed (nothing
 		// downstream reads it); Result.Graph stays nil on resume.
+		if env.rescaling() {
+			cr, err := ckpt.DecodeContigStageReshard(payload, env.team.Config().Ranks)
+			if err != nil {
+				return err
+			}
+			env.res.Contigs = cr
+			return nil
+		}
 		cr, err := ckpt.DecodeContigStage(env.team, payload)
 		if err != nil {
 			return err
@@ -160,6 +187,17 @@ func buildStages(cfg Config) []stage {
 	loadScaffold := func(env *stageEnv, payload []byte) error {
 		// The seed index is not checkpointed (gap closing consumes the
 		// alignments, never the index); Result.Index stays nil on resume.
+		if env.rescaling() {
+			sr, _, err := ckpt.DecodeScaffoldStageAny(payload)
+			if err != nil {
+				return err
+			}
+			if err := reshardScaffold(env, sr); err != nil {
+				return err
+			}
+			env.res.Scaffold = sr
+			return nil
+		}
 		sr, err := ckpt.DecodeScaffoldStage(env.team, payload)
 		if err != nil {
 			return err
@@ -343,6 +381,14 @@ func saveClean(name string) func(env *stageEnv) ([]byte, error) {
 }
 
 func loadClean(env *stageEnv, payload []byte) error {
+	if env.rescaling() {
+		res, _, err := ckpt.DecodeCleaningStageReshard(payload, env.team.Config().Ranks)
+		if err != nil {
+			return err
+		}
+		env.res.Contigs = res
+		return nil
+	}
 	res, _, err := ckpt.DecodeCleaningStage(payload, env.team.Config().Ranks)
 	if err != nil {
 		return err
@@ -357,6 +403,8 @@ func saveCarry(name string) func(env *stageEnv) ([]byte, error) {
 	}
 }
 
+// loadCarry needs no re-shard branch: the carried set is a global sorted
+// list and ResultFromContigs deals it over whatever team is running.
 func loadCarry(env *stageEnv, payload []byte) error {
 	carried, _, err := ckpt.DecodeCarryStage(payload)
 	if err != nil {
@@ -482,6 +530,12 @@ func loadStage(env *stageEnv, store *ckpt.Store, st stage) error {
 	if err != nil {
 		return fmt.Errorf("pipeline: resuming %s: %w", st.name, err)
 	}
+	// Each entry records the partition it was written at; the load paths
+	// re-shard when it differs from this team's (see stageEnv.srcRanks).
+	if e := store.Entry(st.name); e != nil {
+		env.srcRanks = e.Ranks
+	}
+	defer func() { env.srcRanks = 0 }()
 	env.team.BeginSpan("checkpoint-load:" + st.name)
 	env.team.AddCounter("ckpt_bytes", int64(len(payload)))
 	share := int64(len(payload))/int64(env.team.Config().Ranks) + 1
@@ -494,22 +548,23 @@ func loadStage(env *stageEnv, store *ckpt.Store, st stage) error {
 	return nil
 }
 
-// runFingerprint digests everything that shapes stage outputs: the team
-// geometry and seed, every pipeline knob, and the full read content of
-// every library. Computed after io (reads are the fingerprint's domain,
-// so io always reruns); a resume whose fingerprint differs refuses to
-// load. Perturb, fault, and chaos seeds are deliberately excluded: they
-// must not change outputs (schedule perturbation, message-level chaos)
-// or represent the failure being recovered from (fault injection, retry
-// exhaustion), so a checkpoint from a crashed run resumes under any of
-// them — including a calmer chaos plan than the one that killed it.
-func runFingerprint(team *xrt.Team, cfg Config, readLibs []scaffold.ReadLib) string {
+// runFingerprint digests everything that shapes stage outputs: the run
+// seed, every pipeline knob, and the full read content of every library
+// in the partition-independent global order (see reshard.go). The rank
+// geometry is deliberately NOT part of the digest — it is recorded
+// separately as the manifest's Topology — so a checkpoint resumes on a
+// different rank count (elastic rescale) while a different config or
+// input is still refused. Computed after io (reads are the fingerprint's
+// domain, so io always reruns). Perturb, fault, and chaos seeds are
+// likewise excluded: they must not change outputs (schedule
+// perturbation, message-level chaos) or represent the failure being
+// recovered from (fault injection, retry exhaustion), so a checkpoint
+// from a crashed run resumes under any of them — including a calmer
+// chaos plan than the one that killed it.
+func runFingerprint(team *xrt.Team, cfg Config, libs []Library, readLibs []scaffold.ReadLib) (string, error) {
 	f := ckpt.NewFingerprint()
 	f.Str(ckpt.Schema)
-	tc := team.Config()
-	f.Int(int64(tc.Ranks))
-	f.Int(int64(tc.RanksPerNode))
-	f.Int(tc.Seed)
+	f.Int(team.Config().Seed)
 	f.Int(int64(cfg.K))
 	f.Int(int64(len(cfg.KmerLens)))
 	for _, k := range cfg.KmerLens {
@@ -531,17 +586,19 @@ func runFingerprint(team *xrt.Team, cfg Config, readLibs []scaffold.ReadLib) str
 	f.Int(int64(cfg.Gapclose.WalkK))
 	f.Int(int64(cfg.Gapclose.MaxWalkK))
 	f.Int(int64(cfg.Gapclose.MinOverlap))
-	for _, rl := range readLibs {
+	for li, rl := range readLibs {
 		f.Str(rl.Name)
 		f.Int(int64(rl.InsertHint))
-		for _, part := range rl.ReadsByRank {
-			f.Int(int64(len(part)))
-			for _, rec := range part {
-				f.Bytes(rec.ID)
-				f.Bytes(rec.Seq)
-				f.Bytes(rec.Qual)
-			}
+		recs, err := globalOrder(libs[li], rl.ReadsByRank)
+		if err != nil {
+			return "", fmt.Errorf("pipeline: fingerprinting %s: %w", rl.Name, err)
+		}
+		f.Int(int64(len(recs)))
+		for _, rec := range recs {
+			f.Bytes(rec.ID)
+			f.Bytes(rec.Seq)
+			f.Bytes(rec.Qual)
 		}
 	}
-	return f.Hex()
+	return f.Hex(), nil
 }
