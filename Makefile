@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify ckpt chaos meta rescale
+.PHONY: all build vet test race bench verify ckpt chaos meta rescale serve
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 # claim/abort traversal, and the perturbation-seed assembly sweep), and a
 # short fuzz smoke over both record parsers. `make test` / `make race`
 # remain the exhaustive versions.
-verify: build vet ckpt chaos meta rescale
+verify: build vet ckpt chaos meta rescale serve
 	$(GO) test -short ./...
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
@@ -83,6 +83,20 @@ rescale:
 	$(GO) test -short -run 'AdoptTopology|Topology|Reshard' ./internal/ckpt/
 	$(GO) test -fuzz FuzzReshardDecode -fuzztime 3s -run '^$$' ./internal/ckpt/
 
+# Assembly-as-a-service correctness: the short scheduler battery (golden
+# two-run report determinism, admission control, quota/fairness/
+# starvation property tests, checkpoint truncation) with the
+# fake-runner suite additionally under -race, the daemon and load-
+# generator flag-validation tables, and the real-pipeline cross-job
+# isolation tests (a crash job and a chaos job never perturb their
+# neighbours; preemption resumes from a truncated checkpoint). The full
+# heavy-traffic exhibit (>= 1000 jobs via `benchsuite -serve`) runs in
+# CI's service job.
+serve:
+	$(GO) test -short ./internal/sched/ ./cmd/hipmerd/ ./cmd/hipmer/
+	$(GO) test -short -race ./internal/sched/
+	$(GO) test -run 'CrossJobIsolation|PreemptionResumes' ./internal/sched/
+
 # Exhibit benchmarks (paper tables/figures) plus the DHT microbenchmarks
 # comparing striped-mutex, frozen lock-free, and frozen+cached Get paths,
 # and the minimizer-scan/super-k-mer-encode hot loops. Also writes the
@@ -102,3 +116,5 @@ bench:
 	$(GO) run ./cmd/benchsuite -metrics-out metrics.json \
 		-bench-out BENCH_kanalysis.json -bench-baseline bench/BENCH_kanalysis.json \
 		-bench-rescale-out BENCH_rescale.json -bench-rescale-baseline bench/BENCH_rescale.json
+	$(GO) run ./cmd/benchsuite -serve -serve-jobs 1000 -serve-tenants 12 \
+		-bench-sched-out BENCH_sched.json -bench-sched-baseline bench/BENCH_sched.json

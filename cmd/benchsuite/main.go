@@ -10,6 +10,9 @@
 //	benchsuite -meta -meta-metrics-out meta-metrics.json
 //	benchsuite -rescale     # elastic-rescale sweep (heavy)
 //	benchsuite -bench-rescale-out BENCH_rescale.json -bench-rescale-baseline bench/BENCH_rescale.json
+//	benchsuite -serve -serve-jobs 1000 -serve-tenants 12 \
+//	           -serve-report sched-report.json \
+//	           -bench-sched-out BENCH_sched.json -bench-sched-baseline bench/BENCH_sched.json
 package main
 
 import (
@@ -57,6 +60,12 @@ func main() {
 	benchBaseline := flag.String("bench-baseline", "", "committed BENCH_kanalysis.json to compare against; exit 1 if stage-1 messages regress >10% (requires -bench-out)")
 	benchRescaleOut := flag.String("bench-rescale-out", "", "run the rescaled-resume cost benchmark and write BENCH_rescale.json to this path")
 	benchRescaleBaseline := flag.String("bench-rescale-baseline", "", "committed BENCH_rescale.json to compare against; exit 1 if resume cost regresses >10% (requires -bench-rescale-out)")
+	serve := flag.Bool("serve", false, "assembly-as-a-service load exhibit: bursty multi-tenant traffic with injected faults on the shared cluster, every job bit-identical to its solo run (heavy; not part of -all)")
+	serveJobs := flag.Int("serve-jobs", 1000, "-serve: number of jobs")
+	serveTenants := flag.Int("serve-tenants", 12, "-serve: number of tenants")
+	serveReport := flag.String("serve-report", "", "-serve: write the hipmer-sched/v1 service report (JSON) to this path")
+	benchSchedOut := flag.String("bench-sched-out", "", "write the service-scheduler bench artifact BENCH_sched.json to this path (implies -serve)")
+	benchSchedBaseline := flag.String("bench-sched-baseline", "", "committed BENCH_sched.json to compare against; exit 1 if queue-wait p95 or utilization regresses >10% (requires -bench-sched-out)")
 	coresFlag := flag.String("cores", "", "comma-separated simulated-core sweep override")
 	humanLen := flag.Int("human-len", 0, "human-like genome length override")
 	wheatLen := flag.Int("wheat-len", 0, "wheat-like genome length override")
@@ -100,7 +109,7 @@ func main() {
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
 		*faultResume || *rescale || *chaos || *chaosMetricsOut != "" || *meta || *metaMetricsOut != "" ||
-		*metricsOut != "" || *benchOut != "" || *benchRescaleOut != "") {
+		*metricsOut != "" || *benchOut != "" || *benchRescaleOut != "" || *serve || *benchSchedOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -289,4 +298,66 @@ func main() {
 			fmt.Printf("rescale bench comparison vs %s: within 10%% of baseline\n", *benchRescaleBaseline)
 		}
 	}
+	if *serve || *benchSchedOut != "" {
+		if err := validateServeOptions(*serveJobs, *serveTenants, *benchSchedOut, *benchSchedBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(2)
+		}
+		res, text, err := expt.ServeSweep(sc.Seed, *serveJobs, *serveTenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		if *serveReport != "" {
+			if err := res.Report.WriteFile(*serveReport); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote service report to %s\n", *serveReport)
+		}
+		if err := res.Gate(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: service exhibit gate failed: %v\n", err)
+			os.Exit(1)
+		}
+		if *benchSchedOut != "" {
+			art := expt.NewSchedArtifact(res, *serveJobs, *serveTenants)
+			if err := art.WriteFile(*benchSchedOut); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote service-scheduler bench artifact to %s\n", *benchSchedOut)
+			if err := art.Gate(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			if *benchSchedBaseline != "" {
+				base, err := expt.ReadSchedArtifact(*benchSchedBaseline)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+					os.Exit(1)
+				}
+				if err := expt.CompareSchedArtifacts(base, art, 10); err != nil {
+					fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("sched bench comparison vs %s: within 10%% of baseline\n", *benchSchedBaseline)
+			}
+		}
+	}
+}
+
+// validateServeOptions rejects unusable -serve parameter combinations
+// before the (multi-minute) exhibit starts; main exits 2 on error.
+func validateServeOptions(jobs, tenants int, benchOut, benchBaseline string) error {
+	if jobs < 1 {
+		return fmt.Errorf("-serve-jobs must be >= 1, got %d", jobs)
+	}
+	if tenants < 1 {
+		return fmt.Errorf("-serve-tenants must be >= 1, got %d", tenants)
+	}
+	if benchBaseline != "" && benchOut == "" {
+		return fmt.Errorf("-bench-sched-baseline requires -bench-sched-out")
+	}
+	return nil
 }

@@ -5,17 +5,22 @@ import (
 
 	"hipmer/internal/ckpt"
 	"hipmer/internal/pipeline"
+	"hipmer/internal/sched"
 	"hipmer/internal/xrt"
 )
 
 // The CLI's exit-code contract for Assemble errors. Usage errors exit 2
-// before Assemble runs; success is 0.
+// before Assemble runs; success is 0. Exit 7 is shared with cmd/hipmerd:
+// there it means one or more jobs were bounced by service admission
+// control (unknown tenant, over-quota or oversize request, full queue) —
+// the submission was refused, nothing ran and nothing is resumable.
 const (
 	exitRuntimeError        = 1
 	exitInjectedCrash       = 3
 	exitRetryExhausted      = 4
 	exitFingerprintMismatch = 5
 	exitTopologyMismatch    = 6
+	exitAdmissionRejected   = 7
 )
 
 // exitCodeFor maps an Assemble error onto the contract. Order matters:
@@ -38,6 +43,9 @@ func exitCodeFor(err error) int {
 	}
 	if errors.Is(err, ckpt.ErrFingerprintMismatch) {
 		return exitFingerprintMismatch
+	}
+	if errors.Is(err, sched.ErrAdmissionRejected) {
+		return exitAdmissionRejected
 	}
 	return exitRuntimeError
 }

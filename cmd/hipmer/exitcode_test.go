@@ -6,6 +6,7 @@ import (
 
 	"hipmer/internal/ckpt"
 	"hipmer/internal/pipeline"
+	"hipmer/internal/sched"
 	"hipmer/internal/xrt"
 )
 
@@ -37,6 +38,9 @@ func TestExitCodeFor(t *testing.T) {
 		{"bad-manifest-is-a-runtime-error",
 			fmt.Errorf("resuming: %w", ckpt.ErrBadManifest),
 			exitRuntimeError},
+		{"admission-rejected",
+			fmt.Errorf("job 3 (tenant t01): %w", sched.ErrAdmissionRejected),
+			exitAdmissionRejected},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hipmer/internal/sched"
+)
+
+// TestValidateOptions pins the daemon's usage contract: every flag
+// combination main would exit 2 on returns an error naming the offending
+// flag, and sane configurations pass.
+func TestValidateOptions(t *testing.T) {
+	base := func() sched.Config {
+		return sched.Config{
+			Ranks:        32,
+			RanksPerNode: 8,
+			Tenants: []sched.TenantConfig{
+				{Name: "acme", Quota: 16},
+				{Name: "umich", Quota: 16},
+			},
+		}
+	}
+	lgOK := loadgenOptions{
+		Enabled: true, Jobs: 100, Tenants: 8, MeanGapMs: 3, Burst: 8,
+		FaultFrac: 0.04, ChaosFrac: 0.06, MaxPriority: 2,
+	}
+
+	cases := []struct {
+		name    string
+		cfg     func() sched.Config
+		jobs    string
+		lg      loadgenOptions
+		agingMs int64
+		wantErr string
+	}{
+		{"loadgen-ok", base, "", lgOK, 50, ""},
+		{"jobfile-ok", base, "jobs.json", loadgenOptions{}, 50, ""},
+		{"no-source", base, "", loadgenOptions{}, 50, "job source"},
+		{"both-sources", base, "jobs.json", lgOK, 50, "mutually exclusive"},
+		{"zero-ranks", func() sched.Config { c := base(); c.Ranks = 0; return c },
+			"jobs.json", loadgenOptions{}, 50, "ranks"},
+		{"zero-quota", func() sched.Config {
+			c := base()
+			c.Tenants[0].Quota = 0
+			return c
+		}, "jobs.json", loadgenOptions{}, 50, "quota"},
+		{"quota-over-ranks", func() sched.Config {
+			c := base()
+			c.Tenants[0].Quota = 64
+			return c
+		}, "jobs.json", loadgenOptions{}, 50, "exceeds cluster ranks"},
+		{"duplicate-tenant", func() sched.Config {
+			c := base()
+			c.Tenants[1].Name = "acme"
+			return c
+		}, "jobs.json", loadgenOptions{}, 50, "duplicate tenant"},
+		{"stranded-capacity", func() sched.Config {
+			c := base()
+			c.Tenants = []sched.TenantConfig{{Name: "acme", Quota: 4}}
+			return c
+		}, "jobs.json", loadgenOptions{}, 50, "unusable"},
+		{"negative-aging", base, "jobs.json", loadgenOptions{}, -1, "-aging-ms"},
+		{"zero-lg-jobs", base, "", func() loadgenOptions { l := lgOK; l.Jobs = 0; return l }(), 50, "-lg-jobs"},
+		{"zero-lg-tenants", base, "", func() loadgenOptions { l := lgOK; l.Tenants = 0; return l }(), 50, "-lg-tenants"},
+		{"zero-gap", base, "", func() loadgenOptions { l := lgOK; l.MeanGapMs = 0; return l }(), 50, "-lg-mean-gap-ms"},
+		{"zero-burst", base, "", func() loadgenOptions { l := lgOK; l.Burst = 0; return l }(), 50, "-lg-burst"},
+		{"fault-frac-over-1", base, "", func() loadgenOptions { l := lgOK; l.FaultFrac = 1.5; return l }(), 50, "-lg-fault-frac"},
+		{"chaos-frac-negative", base, "", func() loadgenOptions { l := lgOK; l.ChaosFrac = -0.1; return l }(), 50, "-lg-chaos-frac"},
+		{"negative-priority", base, "", func() loadgenOptions { l := lgOK; l.MaxPriority = -1; return l }(), 50, "-lg-max-priority"},
+		{"oversize-over-jobs", base, "", func() loadgenOptions { l := lgOK; l.Oversize = 101; return l }(), 50, "-lg-oversize"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateOptions(c.cfg(), c.jobs, c.lg, c.agingMs)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

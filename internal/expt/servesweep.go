@@ -1,0 +1,288 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hipmer/internal/pipeline"
+	"hipmer/internal/sched"
+	"hipmer/internal/verify"
+	"hipmer/internal/xrt"
+)
+
+// ServeResult is the heavy-traffic service exhibit's outcome: the
+// hipmer-sched/v1 report plus the correctness gates the CI job asserts.
+type ServeResult struct {
+	Report *sched.Report
+	// BitIdentical: every completed job's assembly matched a solo run of
+	// the same spec at its final rank count (memoized per template ×
+	// rank count — thousands of jobs share a handful of templates).
+	BitIdentical bool
+	// ReportIdentical: a second full pass of the identical schedule
+	// produced bit-identical report bytes.
+	ReportIdentical bool
+	// SoloRuns is how many distinct (template, ranks) baselines the
+	// bit-identity check actually ran.
+	SoloRuns int
+	// FaultedCompleted counts fault- or chaos-armed jobs that completed
+	// after requeue + resume.
+	FaultedCompleted int
+}
+
+// Gate is the exhibit's pass condition.
+func (r *ServeResult) Gate() error {
+	rep := r.Report
+	if rep.Completed+rep.Failed+rep.Rejected != rep.Jobs {
+		return fmt.Errorf("serve gate: %d jobs not terminal", rep.Jobs-rep.Completed-rep.Failed-rep.Rejected)
+	}
+	if rep.Failed != 0 {
+		return fmt.Errorf("serve gate: %d terminal failures (faults must recover via requeue+resume)", rep.Failed)
+	}
+	if rep.Rejected == 0 {
+		return fmt.Errorf("serve gate: no admission rejections exercised")
+	}
+	if rep.Requeues == 0 || r.FaultedCompleted == 0 {
+		return fmt.Errorf("serve gate: no fault recovery exercised (requeues %d, faulted completed %d)",
+			rep.Requeues, r.FaultedCompleted)
+	}
+	if rep.Preemptions == 0 {
+		return fmt.Errorf("serve gate: no preemptions exercised")
+	}
+	if rep.Rescales == 0 {
+		return fmt.Errorf("serve gate: no elastic rescales exercised")
+	}
+	if !r.BitIdentical {
+		return fmt.Errorf("serve gate: a job's assembly differed from its solo run")
+	}
+	if !r.ReportIdentical {
+		return fmt.Errorf("serve gate: report not bit-identical across two runs")
+	}
+	if rep.Utilization <= 0.3 {
+		return fmt.Errorf("serve gate: utilization %.2f implausibly low", rep.Utilization)
+	}
+	return nil
+}
+
+// ServeSweep runs the assembly-as-a-service heavy-traffic exhibit:
+// njobs real assembly jobs from ntenants bursty tenants multiplexed
+// onto one shared 32-rank simulated cluster, with injected per-job rank
+// crashes and chaos retry exhaustions, structural admission rejections,
+// priority preemption, and elastic rescale all in play. Every completed
+// job's assembly is checked bit-identical to a solo run of the same
+// spec, and the whole schedule is run twice to check report
+// determinism.
+func ServeSweep(seed int64, njobs, ntenants int) (*ServeResult, string, error) {
+	const ranks, ranksPerNode = 32, 8
+	tmp, err := os.MkdirTemp("", "hipmer-serve-*")
+	if err != nil {
+		return nil, "", err
+	}
+	defer os.RemoveAll(tmp)
+	tpls, err := sched.DefaultTemplates(seed, tmp)
+	if err != nil {
+		return nil, "", err
+	}
+	lc := sched.LoadConfig{
+		Seed:        seed,
+		Tenants:     ntenants,
+		Jobs:        njobs,
+		MeanGapNs:   int64(3 * time.Millisecond),
+		Burst:       8,
+		FaultFrac:   0.04,
+		ChaosFrac:   0.06,
+		MaxPriority: 2,
+		Oversize:    njobs/200 + 1,
+	}
+	specs, err := sched.GenJobs(lc, tpls)
+	if err != nil {
+		return nil, "", err
+	}
+	cfg := sched.Config{
+		Ranks:        ranks,
+		RanksPerNode: ranksPerNode,
+		Seed:         seed,
+		QueueCap:     njobs + 1,
+		Tenants:      sched.DefaultTenantConfigs(ntenants, ranks, 8),
+	}
+
+	run := func() (*sched.Outcome, error) {
+		s, err := sched.New(cfg, &sched.PipelineRunner{})
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(specs)
+	}
+	out, err := run()
+	if err != nil {
+		return nil, "", err
+	}
+
+	res := &ServeResult{Report: out.Report, BitIdentical: true}
+
+	// Bit-identity versus solo runs, memoized per (template, ranks).
+	byName := make(map[string]sched.Template, len(tpls))
+	for _, tpl := range tpls {
+		byName[tpl.Name] = tpl
+	}
+	solo := make(map[string]map[string]int)
+	for i, jr := range out.Jobs {
+		if jr.State != sched.StateCompleted {
+			continue
+		}
+		if specs[i].FaultSeed != 0 || specs[i].ChaosSeed != 0 {
+			res.FaultedCompleted++
+		}
+		final := jr.RanksUsed[len(jr.RanksUsed)-1]
+		key := fmt.Sprintf("%s@%d", jr.Name, final)
+		want, ok := solo[key]
+		if !ok {
+			tpl := byName[jr.Name]
+			team := xrt.NewTeam(xrt.Config{Ranks: final, RanksPerNode: ranksPerNode, Seed: tpl.Seed})
+			sres, err := pipeline.Run(team, tpl.Libs, tpl.Pipeline)
+			if err != nil {
+				return nil, "", fmt.Errorf("solo baseline %s: %w", key, err)
+			}
+			want = verify.CanonicalSet(sres.FinalSeqs)
+			solo[key] = want
+			res.SoloRuns++
+		}
+		if !verify.EqualSets(verify.CanonicalSet(jr.Seqs), want) {
+			res.BitIdentical = false
+		}
+	}
+
+	// Determinism: the identical schedule, scheduled again.
+	out2, err := run()
+	if err != nil {
+		return nil, "", err
+	}
+	b1, err := out.Report.Marshal()
+	if err != nil {
+		return nil, "", err
+	}
+	b2, err := out2.Report.Marshal()
+	if err != nil {
+		return nil, "", err
+	}
+	res.ReportIdentical = bytes.Equal(b1, b2)
+
+	text := fmt.Sprintf("Assembly-as-a-service load exhibit — %d jobs, %d tenants, %d ranks, seed %d\n\n%s\n  solo baselines: %d, faulted jobs completed: %d, bit-identical: %v, report deterministic: %v\n",
+		njobs, ntenants, ranks, seed, out.Report.FormatTable(),
+		res.SoloRuns, res.FaultedCompleted, res.BitIdentical, res.ReportIdentical)
+	return res, text, nil
+}
+
+// ---------------------------------------------------------------------
+// BENCH_sched.json trajectory artifact
+
+// BenchSchedSchema versions the BENCH_sched.json artifact.
+const BenchSchedSchema = "hipmer-bench-sched/v1"
+
+// SchedArtifact is the service-trajectory record committed as
+// bench/BENCH_sched.json so CI catches queue-latency or utilization
+// regressions in the scheduler.
+type SchedArtifact struct {
+	Schema  string `json:"schema"`
+	Seed    int64  `json:"seed"`
+	Jobs    int    `json:"jobs"`
+	Tenants int    `json:"tenants"`
+	Ranks   int    `json:"ranks"`
+
+	Completed   int `json:"completed"`
+	Rejected    int `json:"rejected"`
+	Requeues    int `json:"requeues"`
+	Preemptions int `json:"preemptions"`
+	Rescales    int `json:"rescales"`
+
+	WaitP50Sec      float64 `json:"wait_p50_sec"`
+	WaitP95Sec      float64 `json:"wait_p95_sec"`
+	WaitMaxSec      float64 `json:"wait_max_sec"`
+	MakespanSec     float64 `json:"makespan_sec"`
+	UtilizationPct  float64 `json:"utilization_pct"`
+	FairnessGini    float64 `json:"fairness_gini"`
+	TurnaroundP95   float64 `json:"turnaround_p95_sec"`
+	FaultedComplete int     `json:"faulted_complete"`
+}
+
+// NewSchedArtifact derives the artifact from an exhibit result.
+func NewSchedArtifact(res *ServeResult, njobs, ntenants int) *SchedArtifact {
+	r := res.Report
+	return &SchedArtifact{
+		Schema:          BenchSchedSchema,
+		Seed:            r.Seed,
+		Jobs:            njobs,
+		Tenants:         ntenants,
+		Ranks:           r.Ranks,
+		Completed:       r.Completed,
+		Rejected:        r.Rejected,
+		Requeues:        r.Requeues,
+		Preemptions:     r.Preemptions,
+		Rescales:        r.Rescales,
+		WaitP50Sec:      r.QueueWait.P50,
+		WaitP95Sec:      r.QueueWait.P95,
+		WaitMaxSec:      r.QueueWait.Max,
+		MakespanSec:     r.MakespanSeconds,
+		UtilizationPct:  100 * r.Utilization,
+		FairnessGini:    r.FairnessWaitGini,
+		TurnaroundP95:   r.Turnaround.P95,
+		FaultedComplete: res.FaultedCompleted,
+	}
+}
+
+// Gate sanity-checks the artifact before it can become a baseline.
+func (a *SchedArtifact) Gate() error {
+	if a.Completed == 0 || a.WaitP95Sec <= 0 || a.UtilizationPct <= 0 || a.MakespanSec <= 0 {
+		return fmt.Errorf("sched bench gate: degenerate artifact (completed %d, wait p95 %.4f, util %.1f%%)",
+			a.Completed, a.WaitP95Sec, a.UtilizationPct)
+	}
+	return nil
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *SchedArtifact) WriteFile(path string) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadSchedArtifact loads a committed artifact.
+func ReadSchedArtifact(path string) (*SchedArtifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a SchedArtifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("expt: parsing %s: %w", path, err)
+	}
+	if a.Schema != BenchSchedSchema {
+		return nil, fmt.Errorf("expt: %s schema %q, want %q", path, a.Schema, BenchSchedSchema)
+	}
+	return &a, nil
+}
+
+// CompareSchedArtifacts fails when the current run regressed queue-wait
+// p95 or utilization by more than tolPct percent against the committed
+// baseline (at matching workload shape). Virtual-time quantities only —
+// wall time never gates.
+func CompareSchedArtifacts(baseline, current *SchedArtifact, tolPct float64) error {
+	if baseline.Jobs != current.Jobs || baseline.Tenants != current.Tenants ||
+		baseline.Ranks != current.Ranks || baseline.Seed != current.Seed {
+		// Shape changed: trajectory reset, nothing comparable.
+		return nil
+	}
+	if current.WaitP95Sec > baseline.WaitP95Sec*(1+tolPct/100) {
+		return fmt.Errorf("sched regression: queue-wait p95 %.4fs > baseline %.4fs +%.0f%%",
+			current.WaitP95Sec, baseline.WaitP95Sec, tolPct)
+	}
+	if current.UtilizationPct < baseline.UtilizationPct*(1-tolPct/100) {
+		return fmt.Errorf("sched regression: utilization %.1f%% < baseline %.1f%% -%.0f%%",
+			current.UtilizationPct, baseline.UtilizationPct, tolPct)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeSweep runs a reduced heavy-traffic exhibit (the CI service
+// job runs the full 1000-job version via benchsuite -serve) and asserts
+// every gate: all jobs terminal with zero terminal failures, admission
+// rejections / requeues / preemptions / rescales all exercised, every
+// assembly bit-identical to its solo run, and the report bit-identical
+// across two passes.
+func TestServeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service load exhibit (run by CI's service job at full scale)")
+	}
+	res, text, err := ServeSweep(20151115, 80, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + text)
+	if err := res.Gate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "hipmer-sched/v1") {
+		t.Fatal("exhibit text missing schema header")
+	}
+
+	art := NewSchedArtifact(res, 80, 8)
+	if err := art.Gate(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh artifact never regresses against itself; a doctored
+	// baseline must trip the gate in both directions.
+	if err := CompareSchedArtifacts(art, art, 10); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	worse := *art
+	worse.WaitP95Sec *= 1.5
+	if err := CompareSchedArtifacts(art, &worse, 10); err == nil {
+		t.Fatal("50% queue-wait regression passed the 10% gate")
+	}
+	slack := *art
+	slack.UtilizationPct *= 0.5
+	if err := CompareSchedArtifacts(art, &slack, 10); err == nil {
+		t.Fatal("50% utilization drop passed the 10% gate")
+	}
+	other := *art
+	other.Jobs++
+	if err := CompareSchedArtifacts(&other, &worse, 10); err != nil {
+		t.Fatalf("workload-shape change should reset the trajectory: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hipmer/internal/pipeline"
+	"hipmer/internal/verify"
+	"hipmer/internal/xrt"
+)
+
+// soloRun assembles a spec alone on a fresh machine at the given rank
+// count — the reference output for the service's bit-identity
+// guarantee.
+func soloRun(t *testing.T, spec JobSpec, ranks, ranksPerNode int) [][]byte {
+	t.Helper()
+	team := xrt.NewTeam(xrt.Config{Ranks: ranks, RanksPerNode: ranksPerNode, Seed: spec.Seed})
+	res, err := pipeline.Run(team, spec.Libs, spec.Pipeline)
+	if err != nil {
+		t.Fatalf("solo run of %s: %v", spec.Name, err)
+	}
+	return res.FinalSeqs
+}
+
+// TestCrossJobIsolation is the isolation satellite on the real
+// pipeline: a shared cluster runs healthy jobs next to one with an
+// injected mid-pipeline rank crash and one with a chaos plan that
+// exhausts its retry budget. The faulted jobs must requeue and complete
+// from their own checkpoints, and every job's assembly must be
+// bit-identical to a solo run of the same spec — the neighbours never
+// see the faults. A second pass of the whole schedule pins report
+// determinism with real pipelines in the loop.
+func TestCrossJobIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-pipeline service test")
+	}
+	tmp := t.TempDir()
+	tpls, err := DefaultTemplates(20151115, tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Template)
+	for _, tpl := range tpls {
+		byName[tpl.Name] = tpl
+	}
+	mk := func(name, tenant string, arrival time.Duration) JobSpec {
+		tpl := byName[name]
+		return JobSpec{
+			Tenant: tenant, Name: name, Libs: tpl.Libs, Pipeline: tpl.Pipeline,
+			Ranks: tpl.Ranks, Seed: tpl.Seed, Arrival: arrival,
+		}
+	}
+	crash := mk("human-s", "acme", 0)
+	crash.FaultSeed = 7
+	crash.FailStage = "contig-generation"
+	chaos := mk("wheat-s", "bio", time.Millisecond)
+	chaos.ChaosSeed = 11
+	chaos.DropRate = 0.5
+	chaos.RetryBudget = 1
+	specs := []JobSpec{
+		crash,
+		chaos,
+		mk("human-s", "bio", 2*time.Millisecond),
+		mk("human-m", "acme", 3*time.Millisecond),
+		mk("meta-s", "acme", 4*time.Millisecond),
+	}
+
+	run := func() *Outcome {
+		cfg := Config{Ranks: 16, RanksPerNode: 8, Seed: 3, DefaultQuota: 12, CkptRoot: t.TempDir()}
+		s, err := New(cfg, &PipelineRunner{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Run(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := run()
+
+	for i, jr := range out.Jobs {
+		if jr.State != StateCompleted {
+			t.Fatalf("job %d (%s) state %q: %s", i, jr.Name, jr.State, jr.Reason)
+		}
+		final := jr.RanksUsed[len(jr.RanksUsed)-1]
+		solo := soloRun(t, specs[i], final, 8)
+		if !verify.EqualSets(verify.CanonicalSet(jr.Seqs), verify.CanonicalSet(solo)) {
+			t.Fatalf("job %d (%s, tenant %s) assembly differs from its solo run at %d ranks",
+				i, jr.Name, jr.Tenant, final)
+		}
+	}
+	if out.Jobs[0].Requeues == 0 {
+		t.Fatal("crash-armed job completed without a requeue")
+	}
+	if out.Jobs[1].Requeues == 0 {
+		t.Fatal("chaos-exhaustion job completed without a requeue")
+	}
+	for i := 2; i < len(out.Jobs); i++ {
+		if out.Jobs[i].Requeues != 0 {
+			t.Fatalf("healthy job %d was requeued %d times", i, out.Jobs[i].Requeues)
+		}
+	}
+
+	// Determinism with real pipelines: a second pass of the identical
+	// schedule yields bit-identical report bytes.
+	b1, err := out.Report.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := run().Report.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("real-pipeline schedule not deterministic:\n--- run 1\n%s\n--- run 2\n%s", b1, b2)
+	}
+}
+
+// TestPreemptionResumesFromTruncatedCkpt drives a real preemption: a
+// low-priority job is preempted by a high-priority arrival, its
+// checkpoint truncated to the stages completed at the boundary, and the
+// resumed job's output stays bit-identical to a solo run.
+func TestPreemptionResumesFromTruncatedCkpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-pipeline service test")
+	}
+	tmp := t.TempDir()
+	tpls, err := DefaultTemplates(20151115, tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var humanM, wheatS Template
+	for _, tpl := range tpls {
+		switch tpl.Name {
+		case "human-m":
+			humanM = tpl
+		case "wheat-s":
+			wheatS = tpl
+		}
+	}
+	victim := JobSpec{
+		Tenant: "acme", Name: humanM.Name, Libs: humanM.Libs, Pipeline: humanM.Pipeline,
+		Ranks: 8, Seed: humanM.Seed, Priority: 0,
+	}
+	// The preemptor arrives mid-run and needs the whole cluster.
+	preemptor := JobSpec{
+		Tenant: "bio", Name: wheatS.Name, Libs: wheatS.Libs, Pipeline: wheatS.Pipeline,
+		Ranks: 8, Seed: wheatS.Seed, Priority: 5, Arrival: 2 * time.Millisecond,
+	}
+	cfg := Config{Ranks: 8, RanksPerNode: 8, Seed: 3, DefaultQuota: 8, DisableRescale: true, CkptRoot: t.TempDir()}
+	s, err := New(cfg, &PipelineRunner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run([]JobSpec{victim, preemptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", out.Report.Preemptions)
+	}
+	if out.Jobs[0].Preemptions != 1 || out.Jobs[0].Attempts != 2 {
+		t.Fatalf("victim preempted %d times over %d attempts, want 1 over 2",
+			out.Jobs[0].Preemptions, out.Jobs[0].Attempts)
+	}
+	for i, jr := range out.Jobs {
+		if jr.State != StateCompleted {
+			t.Fatalf("job %d state %q: %s", i, jr.State, jr.Reason)
+		}
+	}
+	solo := soloRun(t, victim, 8, 8)
+	if !verify.EqualSets(verify.CanonicalSet(out.Jobs[0].Seqs), verify.CanonicalSet(solo)) {
+		t.Fatal("preempted+resumed job's assembly differs from its solo run")
+	}
+}

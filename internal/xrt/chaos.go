@@ -261,7 +261,9 @@ func (r *Rank) tripRetryExhausted(dst int, seq uint64, attempts int) {
 		Attempts: attempts,
 		Seed:     t.cfg.Chaos.Seed,
 	}
-	t.chaosErr.CompareAndSwap(nil, err)
+	if t.chaosErr.CompareAndSwap(nil, err) {
+		t.tripClockNs = r.clockNs
+	}
 	t.faultTripped.Store(true)
 	t.bar.poison()
 	panic(faultCrash{})

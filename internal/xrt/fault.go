@@ -124,6 +124,7 @@ func (r *Rank) faultPoint() {
 	if r.faultCD > 0 {
 		r.faultCD--
 		if r.faultCD == 0 {
+			t.tripClockNs = r.clockNs
 			t.faultTripped.Store(true)
 			t.bar.poison()
 			panic(faultCrash{})

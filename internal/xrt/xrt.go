@@ -495,6 +495,14 @@ type Team struct {
 	faultPlan    FaultPlan
 	faultVictim  int
 	faultTripped atomic.Bool
+	// tripClockNs is the trip initiator's owner-written virtual clock at
+	// the instant it killed the team (victim rank for an injected crash,
+	// exhausted sender for chaos). Written once before faultTripped is
+	// set, read only after the team is dead. Unlike VirtualNow after a
+	// trip — survivors unwind at physically racy points, dragging the
+	// clock maximum with them — this quantity is deterministic, so the
+	// job scheduler charges it as a failed attempt's duration.
+	tripClockNs float64
 
 	// message-fault state (see chaos.go). chaosOn is static for the
 	// team's lifetime; chaosErr records the first retry exhaustion (the
@@ -620,6 +628,19 @@ func (t *Team) syncClocks() {
 // VirtualNow returns the current synchronized virtual time of the team.
 // Only meaningful between Run phases.
 func (t *Team) VirtualNow() time.Duration { return time.Duration(t.maxClock()) }
+
+// TripVirtual returns the trip initiator's virtual clock at the instant
+// an injected crash or chaos retry exhaustion killed the team, and 0 if
+// the team never tripped. After a trip this is the deterministic
+// measure of how long the team held the machine: VirtualNow would also
+// include however far the surviving ranks happened to race before
+// observing the unwind, which varies with physical scheduling.
+func (t *Team) TripVirtual() time.Duration {
+	if !t.faultTripped.Load() {
+		return 0
+	}
+	return time.Duration(t.tripClockNs)
+}
 
 // AggStats sums communication statistics over all ranks. Only safe between
 // phases or at barriers.
