@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify ckpt chaos meta rescale serve
+.PHONY: all build vet test race bench verify ckpt chaos meta rescale serve diskfault
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 # claim/abort traversal, and the perturbation-seed assembly sweep), and a
 # short fuzz smoke over both record parsers. `make test` / `make race`
 # remain the exhaustive versions.
-verify: build vet ckpt chaos meta rescale serve
+verify: build vet ckpt chaos meta rescale serve diskfault
 	$(GO) test -short ./...
 	$(GO) test -short -race ./internal/xrt/ ./internal/dht/
 	$(GO) test -short -race -run 'Perturbed|Contention' ./internal/contig/
@@ -42,6 +42,22 @@ ckpt:
 	$(GO) test -fuzz FuzzManifest -fuzztime 3s -run '^$$' ./internal/ckpt/
 	$(GO) test -short -run 'Fault' ./internal/xrt/
 	$(GO) test -short -run 'Checkpoint|CrashThenResume|CrashResume' ./internal/pipeline/ ./internal/expt/
+
+# Storage-fault correctness: the disk-fault plan's determinism/kind
+# tests, the scrub battery (quarantine, prefix truncation, stale-temp
+# sweep, unrecoverable-manifest taxonomy), the pipeline healing tests
+# (each damage kind -> faulted run bit-identical -> scrubbed resume
+# bit-identical, single-k and multi-k, plus the byte-flip detection-
+# completeness property), and a fuzz smoke over the manifest parser
+# seeded with quarantine artifacts. The full DiskFaultSweep exhibit
+# (every stage x every damage kind on human+wheat plus the disk-armed
+# scheduler leg) runs in CI's diskfault job via `benchsuite -diskfault`.
+diskfault:
+	$(GO) test -short -run 'DiskFault' ./internal/xrt/
+	$(GO) test -short -run 'Scrub|StaleTemp|Quarantine|Unrecoverable' ./internal/ckpt/
+	$(GO) test -short -run 'DiskFault|Heal|FlipDetection' ./internal/pipeline/
+	$(GO) test -short -run 'DiskFrac|TrimBilled|DiskFault' ./internal/sched/
+	$(GO) test -fuzz FuzzManifest -fuzztime 3s -run '^$$' ./internal/ckpt/
 
 # Unreliable-transport correctness: the chaos-layer runtime tests
 # (deterministic drop/dup injection, retry/backoff, dedup window, retry

@@ -9,6 +9,7 @@
 //	benchsuite -chaos -chaos-metrics-out chaos-metrics.json
 //	benchsuite -meta -meta-metrics-out meta-metrics.json
 //	benchsuite -rescale     # elastic-rescale sweep (heavy)
+//	benchsuite -diskfault -diskfault-report diskfault-report.txt
 //	benchsuite -bench-rescale-out BENCH_rescale.json -bench-rescale-baseline bench/BENCH_rescale.json
 //	benchsuite -serve -serve-jobs 1000 -serve-tenants 12 \
 //	           -serve-report sched-report.json \
@@ -51,6 +52,8 @@ func main() {
 	verifyF := flag.Bool("verify", false, "metamorphic verification: rank-count invariance, schedule perturbation, assembly oracle")
 	faultResume := flag.Bool("fault-resume", false, "crash-resume sweep: injected rank crashes, checkpoint resume, bit-identical assembly")
 	rescale := flag.Bool("rescale", false, "elastic-rescale sweep: crash at every stage, resume at R/2, R, 2R, bit-identical assembly (heavy; not part of -all)")
+	diskFault := flag.Bool("diskfault", false, "storage-fault sweep: injected checkpoint damage at every stage × every damage kind, scrubbed + healed resume, bit-identical assembly (heavy; not part of -all)")
+	diskFaultReport := flag.String("diskfault-report", "", "write the storage-fault sweep's text report to this path (implies -diskfault)")
 	chaos := flag.Bool("chaos", false, "chaos sweep: message drop/dup injection, retry/dedup layer, bit-identical assembly")
 	chaosMetricsOut := flag.String("chaos-metrics-out", "", "write the chaos runs' metrics reports (JSON array) to this path (implies -chaos)")
 	meta := flag.Bool("meta", false, "iterative-k metagenome sweep: multi-k vs single-k recovery, abundance-aware oracle, multi-round determinism")
@@ -108,7 +111,8 @@ func main() {
 	}
 
 	if !(*all || *fig6 || *table1 || *fig7 || *table3 || *fig8 || *compare || *ablations || *verifyF ||
-		*faultResume || *rescale || *chaos || *chaosMetricsOut != "" || *meta || *metaMetricsOut != "" ||
+		*faultResume || *rescale || *diskFault || *diskFaultReport != "" ||
+		*chaos || *chaosMetricsOut != "" || *meta || *metaMetricsOut != "" ||
 		*metricsOut != "" || *benchOut != "" || *benchRescaleOut != "" || *serve || *benchSchedOut != "") {
 		flag.Usage()
 		os.Exit(2)
@@ -186,6 +190,27 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchsuite: elastic-rescale sweep failed on %s/%s\n", r.Dataset, r.Mode)
 				os.Exit(1)
 			}
+		}
+	}
+	if *diskFault || *diskFaultReport != "" {
+		rows, svc, text := expt.DiskFaultSweep(sc)
+		fmt.Println(text)
+		if *diskFaultReport != "" {
+			if err := os.WriteFile(*diskFaultReport, []byte(text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote storage-fault sweep report to %s\n", *diskFaultReport)
+		}
+		for _, r := range rows {
+			if !r.Gate() {
+				fmt.Fprintf(os.Stderr, "benchsuite: storage-fault sweep failed on %s\n", r.Dataset)
+				os.Exit(1)
+			}
+		}
+		if !svc.Gate() {
+			fmt.Fprintf(os.Stderr, "benchsuite: storage-fault service leg failed: %+v\n", svc)
+			os.Exit(1)
 		}
 	}
 	if *all || *chaos || *chaosMetricsOut != "" {

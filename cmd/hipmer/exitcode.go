@@ -14,6 +14,10 @@ import (
 // there it means one or more jobs were bounced by service admission
 // control (unknown tenant, over-quota or oversize request, full queue) —
 // the submission was refused, nothing ran and nothing is resumable.
+// Exit 8 means the checkpoint directory is beyond self-healing — its
+// manifest is missing or unparsable (segment damage alone never earns
+// this; the scrub/heal path recomputes it); -scrub shares the code for
+// the same condition.
 const (
 	exitRuntimeError        = 1
 	exitInjectedCrash       = 3
@@ -21,6 +25,7 @@ const (
 	exitFingerprintMismatch = 5
 	exitTopologyMismatch    = 6
 	exitAdmissionRejected   = 7
+	exitUnrecoverableCkpt   = 8
 )
 
 // exitCodeFor maps an Assemble error onto the contract. Order matters:
@@ -46,6 +51,9 @@ func exitCodeFor(err error) int {
 	}
 	if errors.Is(err, sched.ErrAdmissionRejected) {
 		return exitAdmissionRejected
+	}
+	if errors.Is(err, ckpt.ErrUnrecoverableCkpt) {
+		return exitUnrecoverableCkpt
 	}
 	return exitRuntimeError
 }

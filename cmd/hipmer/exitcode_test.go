@@ -35,9 +35,19 @@ func TestExitCodeFor(t *testing.T) {
 		{"topology-mismatch",
 			fmt.Errorf("oracle placement: %w", ckpt.ErrTopologyMismatch),
 			exitTopologyMismatch},
+		// A bare ErrBadManifest (e.g. from a mid-run manifest rewrite) is
+		// still exit 1; only the typed unrecoverable-checkpoint wrapper —
+		// what Resume/Scrub return when the manifest is missing or
+		// unparsable — earns the dedicated code.
 		{"bad-manifest-is-a-runtime-error",
 			fmt.Errorf("resuming: %w", ckpt.ErrBadManifest),
 			exitRuntimeError},
+		{"unrecoverable-ckpt",
+			fmt.Errorf("resuming: %w", fmt.Errorf("%w: reading manifest: boom", ckpt.ErrUnrecoverableCkpt)),
+			exitUnrecoverableCkpt},
+		{"unrecoverable-ckpt-wrapping-bad-manifest",
+			fmt.Errorf("%w: %w", ckpt.ErrUnrecoverableCkpt, ckpt.ErrBadManifest),
+			exitUnrecoverableCkpt},
 		{"admission-rejected",
 			fmt.Errorf("job 3 (tenant t01): %w", sched.ErrAdmissionRejected),
 			exitAdmissionRejected},

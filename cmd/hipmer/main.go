@@ -7,7 +7,9 @@
 //	       -k 31 -ranks 48 -out assembly.fasta [-contigs-only] [-ref ref.fasta] \
 //	       [-kmer-lens 21,33,55] \
 //	       [-ckpt-dir run1.ckpt [-resume [-ranks N]]] [-fault-seed N -fail-stage scaffolding] \
-//	       [-chaos-seed N -drop-rate 0.05 [-retry-budget 16]]
+//	       [-chaos-seed N -drop-rate 0.05 [-retry-budget 16]] \
+//	       [-disk-fault-seed N -disk-fail-stage contig-generation]
+//	hipmer -scrub -ckpt-dir run1.ckpt
 //
 // -kmer-lens runs the MetaHipMer-style iterative-k loop (metagenome
 // mode): one assembly round per length, each round's tip-clipped and
@@ -28,12 +30,24 @@
 // by the deterministic retry/backoff/dedup layer; the assembly must be
 // bit-identical to the fault-free run.
 //
+// -disk-fault-seed/-disk-fail-stage inject deterministic storage damage
+// into the named stage's checkpoint write (torn write, bit-flip,
+// deletion, or refused write — the kind cycles with the seed); the
+// faulted run still completes bit-identically, and a later -resume
+// detects the damage, scrubs the directory, and recomputes the damaged
+// suffix. -scrub runs the same repair offline: it re-validates every
+// manifest entry, quarantines damaged segments as *.quarantine, prints
+// a per-entry verdict table, and truncates the manifest to the longest
+// intact prefix.
+//
 // Exit codes: 0 success (or verified), 1 runtime/verification error,
 // 2 usage error (validateOptions), 3 injected rank crash (resumable with
 // -resume), 4 chaos retry budget exhausted (also resumable with -resume),
 // 5 checkpoint written by a different config/input (fingerprint
 // mismatch), 6 checkpoint topology incompatible with this run (e.g. an
-// oracle-placed run resuming at a different rank count).
+// oracle-placed run resuming at a different rank count), 8 checkpoint
+// unrecoverable — manifest missing or unparsable, nothing to heal from
+// (start a fresh -ckpt-dir).
 package main
 
 import (
@@ -45,6 +59,7 @@ import (
 	"strings"
 
 	"hipmer"
+	"hipmer/internal/ckpt"
 	"hipmer/internal/fasta"
 	"hipmer/internal/pipeline"
 )
@@ -92,6 +107,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "unreliable-transport seed (0 = off); output must not depend on it")
 	dropRate := flag.Float64("drop-rate", 0, "per-message loss probability in [0,1) (requires -chaos-seed)")
 	retryBudget := flag.Int("retry-budget", 16, "max retransmissions per message before the run fails (exit 4)")
+	diskFaultSeed := flag.Int64("disk-fault-seed", 0, "storage fault-injection seed (requires -disk-fail-stage and -ckpt-dir)")
+	diskFailStage := flag.String("disk-fail-stage", "", "checkpointable stage whose segment write the storage fault damages")
+	scrub := flag.Bool("scrub", false, "offline checkpoint repair: validate -ckpt-dir, quarantine damaged segments, truncate to the intact prefix, and exit")
 	flag.Parse()
 
 	// A resume defaults to the checkpoint's recorded topology: the flag
@@ -148,11 +166,29 @@ func main() {
 		ChaosSeed:           *chaosSeed,
 		DropRate:            *dropRate,
 		RetryBudget:         *retryBudget,
+		DiskFaultSeed:       *diskFaultSeed,
+		DiskFailStage:       *diskFailStage,
 	}
-	if err := validateOptions(opts, len(libs)); err != nil {
+	if err := validateOptions(opts, len(libs), *scrub); err != nil {
 		fmt.Fprintf(os.Stderr, "hipmer: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *scrub {
+		rep, err := ckpt.Scrub(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hipmer: scrubbing %s: %v\n", *ckptDir, err)
+			if errors.Is(err, ckpt.ErrUnrecoverableCkpt) {
+				os.Exit(exitUnrecoverableCkpt)
+			}
+			os.Exit(1)
+		}
+		fmt.Print(rep.FormatTable())
+		if rep.Healed() {
+			fmt.Printf("healed: rerun with -resume to recompute the dropped stages\n")
+		}
+		os.Exit(0)
 	}
 
 	var ref []byte
@@ -197,6 +233,10 @@ func main() {
 			os.Exit(code)
 		case exitTopologyMismatch:
 			fmt.Fprintf(os.Stderr, "hipmer: the checkpoint in %s cannot be re-sharded onto this run's topology; resume at the recorded rank count\n",
+				*ckptDir)
+			os.Exit(code)
+		case exitUnrecoverableCkpt:
+			fmt.Fprintf(os.Stderr, "hipmer: the checkpoint in %s is beyond self-healing (manifest missing or unparsable); inspect with -scrub or start a fresh -ckpt-dir\n",
 				*ckptDir)
 			os.Exit(code)
 		default:

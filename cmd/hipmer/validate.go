@@ -9,7 +9,24 @@ import (
 // validateOptions rejects invalid or conflicting CLI configurations
 // before any work starts. Kept separate from flag parsing so tests can
 // drive it directly; main exits 2 (usage error) on any returned error.
-func validateOptions(opt hipmer.Options, nLibs int) error {
+// scrub is the -scrub offline-repair mode: it needs only -ckpt-dir (no
+// reads, no assembly flags) and is incompatible with anything that
+// would run or perturb an assembly.
+func validateOptions(opt hipmer.Options, nLibs int, scrub bool) error {
+	if scrub {
+		if opt.CkptDir == "" {
+			return fmt.Errorf("-scrub requires -ckpt-dir")
+		}
+		if opt.Resume {
+			return fmt.Errorf("-scrub and -resume are mutually exclusive (a healed directory resumes on the next run)")
+		}
+		if opt.FaultSeed != 0 || opt.FailStage != "" ||
+			opt.ChaosSeed != 0 || opt.DropRate != 0 ||
+			opt.DiskFaultSeed != 0 || opt.DiskFailStage != "" {
+			return fmt.Errorf("-scrub does not take fault, chaos, or disk-fault flags")
+		}
+		return nil
+	}
 	if nLibs == 0 {
 		return fmt.Errorf("at least one -reads library is required")
 	}
@@ -93,6 +110,27 @@ func validateOptions(opt hipmer.Options, nLibs int) error {
 			default:
 				return fmt.Errorf("-fail-stage %q does not exist with -contigs-only", opt.FailStage)
 			}
+		}
+	}
+	if (opt.DiskFaultSeed != 0) != (opt.DiskFailStage != "") {
+		return fmt.Errorf("-disk-fault-seed and -disk-fail-stage must be given together")
+	}
+	if opt.DiskFailStage != "" {
+		if opt.CkptDir == "" {
+			return fmt.Errorf("-disk-fault-seed requires -ckpt-dir (the fault damages a checkpoint write)")
+		}
+		// Only checkpointable stages take a segment write the fault can
+		// damage; io has no save codec, so it is never a legal target.
+		found := false
+		for _, name := range hipmer.StageNames(opt) {
+			if name == opt.DiskFailStage && name != "io" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-disk-fail-stage %q is not a checkpointable stage for this configuration (see hipmer.StageNames)",
+				opt.DiskFailStage)
 		}
 	}
 	if opt.DropRate < 0 || opt.DropRate >= 1 {

@@ -13,129 +13,192 @@ func TestValidateOptions(t *testing.T) {
 		name    string
 		mutate  func(o *hipmer.Options)
 		nLibs   int
+		scrub   bool
 		wantErr string
 	}{
-		{"valid", func(o *hipmer.Options) {}, 1, ""},
-		{"no-libs", func(o *hipmer.Options) {}, 0, "-reads"},
-		{"k-zero", func(o *hipmer.Options) { o.K = 0 }, 1, "1..64"},
-		{"k-too-big", func(o *hipmer.Options) { o.K = 65 }, 1, "1..64"},
-		{"k-even", func(o *hipmer.Options) { o.K = 32 }, 1, "odd"},
-		{"min-count", func(o *hipmer.Options) { o.MinCount = 0 }, 1, "-min-count"},
-		{"ranks", func(o *hipmer.Options) { o.Ranks = 0 }, 1, "-ranks"},
-		{"ranks-per-node", func(o *hipmer.Options) { o.RanksPerNode = -1 }, 1, "-ranks-per-node"},
+		{"valid", func(o *hipmer.Options) {}, 1, false, ""},
+		{"no-libs", func(o *hipmer.Options) {}, 0, false, "-reads"},
+		{"k-zero", func(o *hipmer.Options) { o.K = 0 }, 1, false, "1..64"},
+		{"k-too-big", func(o *hipmer.Options) { o.K = 65 }, 1, false, "1..64"},
+		{"k-even", func(o *hipmer.Options) { o.K = 32 }, 1, false, "odd"},
+		{"min-count", func(o *hipmer.Options) { o.MinCount = 0 }, 1, false, "-min-count"},
+		{"ranks", func(o *hipmer.Options) { o.Ranks = 0 }, 1, false, "-ranks"},
+		{"ranks-per-node", func(o *hipmer.Options) { o.RanksPerNode = -1 }, 1, false, "-ranks-per-node"},
 		// Ranks 0 is the adopt-recorded-topology sentinel, legal only on
 		// a resume; negative counts never are.
 		{"ranks-zero-with-resume", func(o *hipmer.Options) {
 			o.Ranks = 0
 			o.Resume = true
 			o.CkptDir = "d"
-		}, 1, ""},
+		}, 1, false, ""},
 		{"ranks-per-node-zero-with-resume", func(o *hipmer.Options) {
 			o.Ranks = 0
 			o.RanksPerNode = 0
 			o.Resume = true
 			o.CkptDir = "d"
-		}, 1, ""},
+		}, 1, false, ""},
 		{"ranks-negative-with-resume", func(o *hipmer.Options) {
 			o.Ranks = -3
 			o.Resume = true
 			o.CkptDir = "d"
-		}, 1, "-ranks"},
+		}, 1, false, "-ranks"},
 		{"rescale-explicit-ranks-with-resume", func(o *hipmer.Options) {
 			o.Ranks = 32
 			o.Resume = true
 			o.CkptDir = "d"
-		}, 1, ""},
-		{"rounds", func(o *hipmer.Options) { o.ScaffoldRounds = -2 }, 1, "-rounds"},
-		{"resume-without-dir", func(o *hipmer.Options) { o.Resume = true }, 1, "-ckpt-dir"},
-		{"resume-with-dir", func(o *hipmer.Options) { o.Resume = true; o.CkptDir = "d" }, 1, ""},
-		{"fault-seed-alone", func(o *hipmer.Options) { o.FaultSeed = 9 }, 1, "together"},
-		{"fail-stage-alone", func(o *hipmer.Options) { o.FailStage = "scaffolding" }, 1, "together"},
-		{"fault-pair", func(o *hipmer.Options) { o.FaultSeed = 9; o.FailStage = "scaffolding" }, 1, ""},
+		}, 1, false, ""},
+		{"rounds", func(o *hipmer.Options) { o.ScaffoldRounds = -2 }, 1, false, "-rounds"},
+		{"resume-without-dir", func(o *hipmer.Options) { o.Resume = true }, 1, false, "-ckpt-dir"},
+		{"resume-with-dir", func(o *hipmer.Options) { o.Resume = true; o.CkptDir = "d" }, 1, false, ""},
+		{"fault-seed-alone", func(o *hipmer.Options) { o.FaultSeed = 9 }, 1, false, "together"},
+		{"fail-stage-alone", func(o *hipmer.Options) { o.FailStage = "scaffolding" }, 1, false, "together"},
+		{"fault-pair", func(o *hipmer.Options) { o.FaultSeed = 9; o.FailStage = "scaffolding" }, 1, false, ""},
 		{"fault-stage-gone-in-contigs-only", func(o *hipmer.Options) {
 			o.ContigsOnly = true
 			o.FaultSeed = 9
 			o.FailStage = "scaffolding"
-		}, 1, "-contigs-only"},
+		}, 1, false, "-contigs-only"},
 		{"fault-stage-ok-in-contigs-only", func(o *hipmer.Options) {
 			o.ContigsOnly = true
 			o.FaultSeed = 9
 			o.FailStage = "kmer-analysis"
-		}, 1, ""},
-		{"kmer-lens-valid", func(o *hipmer.Options) { o.KmerLens = []int{21, 33, 55} }, 1, ""},
-		{"kmer-lens-even", func(o *hipmer.Options) { o.KmerLens = []int{21, 32, 55} }, 1, "odd"},
-		{"kmer-lens-zero", func(o *hipmer.Options) { o.KmerLens = []int{0, 21} }, 1, "1..64"},
-		{"kmer-lens-too-big", func(o *hipmer.Options) { o.KmerLens = []int{21, 65} }, 1, "1..64"},
-		{"kmer-lens-decreasing", func(o *hipmer.Options) { o.KmerLens = []int{33, 21} }, 1, "strictly increasing"},
-		{"kmer-lens-repeated", func(o *hipmer.Options) { o.KmerLens = []int{21, 21} }, 1, "strictly increasing"},
+		}, 1, false, ""},
+		{"kmer-lens-valid", func(o *hipmer.Options) { o.KmerLens = []int{21, 33, 55} }, 1, false, ""},
+		{"kmer-lens-even", func(o *hipmer.Options) { o.KmerLens = []int{21, 32, 55} }, 1, false, "odd"},
+		{"kmer-lens-zero", func(o *hipmer.Options) { o.KmerLens = []int{0, 21} }, 1, false, "1..64"},
+		{"kmer-lens-too-big", func(o *hipmer.Options) { o.KmerLens = []int{21, 65} }, 1, false, "1..64"},
+		{"kmer-lens-decreasing", func(o *hipmer.Options) { o.KmerLens = []int{33, 21} }, 1, false, "strictly increasing"},
+		{"kmer-lens-repeated", func(o *hipmer.Options) { o.KmerLens = []int{21, 21} }, 1, false, "strictly increasing"},
 		{"minimizer-below-smallest-k", func(o *hipmer.Options) {
 			o.KmerLens = []int{21, 33, 55}
 			o.MinimizerLen = 15
-		}, 1, ""},
+		}, 1, false, ""},
 		{"minimizer-at-smallest-k", func(o *hipmer.Options) {
 			o.KmerLens = []int{21, 33, 55}
 			o.MinimizerLen = 21
-		}, 1, "smallest k"},
+		}, 1, false, "smallest k"},
 		{"minimizer-above-smallest-k", func(o *hipmer.Options) {
 			// Legal against -k alone (25 < 31) but not against the ladder's
 			// first round at k=21.
 			o.KmerLens = []int{21, 33, 55}
 			o.MinimizerLen = 25
-		}, 1, "smallest k"},
+		}, 1, false, "smallest k"},
 		{"fail-stage-round-suffixed", func(o *hipmer.Options) {
 			o.KmerLens = []int{21, 33, 55}
 			o.FaultSeed = 9
 			o.FailStage = "tip-clip-k33"
-		}, 1, ""},
+		}, 1, false, ""},
 		{"fail-stage-unsuffixed-in-multi-k", func(o *hipmer.Options) {
 			o.KmerLens = []int{21, 33, 55}
 			o.FaultSeed = 9
 			o.FailStage = "kmer-analysis"
-		}, 1, "-kmer-lens"},
+		}, 1, false, "-kmer-lens"},
 		{"fail-stage-scaffolding-in-multi-k", func(o *hipmer.Options) {
 			o.KmerLens = []int{21, 33, 55}
 			o.FaultSeed = 9
 			o.FailStage = "scaffolding"
-		}, 1, ""},
+		}, 1, false, ""},
 		{"fail-stage-gone-in-multi-k-contigs-only", func(o *hipmer.Options) {
 			o.KmerLens = []int{21, 33, 55}
 			o.ContigsOnly = true
 			o.FaultSeed = 9
 			o.FailStage = "scaffolding"
-		}, 1, "-kmer-lens"},
+		}, 1, false, "-kmer-lens"},
 		{"drop-rate-negative", func(o *hipmer.Options) {
 			o.ChaosSeed = 7
 			o.RetryBudget = 16
 			o.DropRate = -0.1
-		}, 1, "[0,1)"},
+		}, 1, false, "[0,1)"},
 		{"drop-rate-one", func(o *hipmer.Options) {
 			o.ChaosSeed = 7
 			o.RetryBudget = 16
 			o.DropRate = 1.0
-		}, 1, "[0,1)"},
+		}, 1, false, "[0,1)"},
 		{"drop-rate-without-chaos-seed", func(o *hipmer.Options) {
 			o.DropRate = 0.05
 			o.RetryBudget = 16
-		}, 1, "-chaos-seed"},
+		}, 1, false, "-chaos-seed"},
 		{"retry-budget-zero-with-chaos", func(o *hipmer.Options) {
 			o.ChaosSeed = 7
 			o.RetryBudget = 0
-		}, 1, "-retry-budget"},
+		}, 1, false, "-retry-budget"},
 		{"chaos-valid", func(o *hipmer.Options) {
 			o.ChaosSeed = 7
 			o.DropRate = 0.05
 			o.RetryBudget = 16
-		}, 1, ""},
+		}, 1, false, ""},
 		{"chaos-seed-without-drop-rate", func(o *hipmer.Options) {
 			o.ChaosSeed = 7
 			o.RetryBudget = 16
-		}, 1, ""},
+		}, 1, false, ""},
+		{"disk-fault-seed-alone", func(o *hipmer.Options) {
+			o.DiskFaultSeed = 21
+			o.CkptDir = "d"
+		}, 1, false, "together"},
+		{"disk-fail-stage-alone", func(o *hipmer.Options) {
+			o.DiskFailStage = "scaffolding"
+			o.CkptDir = "d"
+		}, 1, false, "together"},
+		{"disk-fault-without-ckpt-dir", func(o *hipmer.Options) {
+			o.DiskFaultSeed = 21
+			o.DiskFailStage = "scaffolding"
+		}, 1, false, "-ckpt-dir"},
+		{"disk-fault-pair", func(o *hipmer.Options) {
+			o.DiskFaultSeed = 21
+			o.DiskFailStage = "scaffolding"
+			o.CkptDir = "d"
+		}, 1, false, ""},
+		// io is a real stage name but writes no checkpoint segment, so
+		// there is nothing for a disk fault to damage.
+		{"disk-fail-stage-io", func(o *hipmer.Options) {
+			o.DiskFaultSeed = 21
+			o.DiskFailStage = "io"
+			o.CkptDir = "d"
+		}, 1, false, "checkpointable"},
+		{"disk-fail-stage-unknown", func(o *hipmer.Options) {
+			o.DiskFaultSeed = 21
+			o.DiskFailStage = "no-such-stage"
+			o.CkptDir = "d"
+		}, 1, false, "checkpointable"},
+		{"disk-fail-stage-gone-in-contigs-only", func(o *hipmer.Options) {
+			o.ContigsOnly = true
+			o.DiskFaultSeed = 21
+			o.DiskFailStage = "scaffolding"
+			o.CkptDir = "d"
+		}, 1, false, "checkpointable"},
+		{"disk-fail-stage-round-suffixed", func(o *hipmer.Options) {
+			o.KmerLens = []int{21, 33, 55}
+			o.DiskFaultSeed = 21
+			o.DiskFailStage = "tip-clip-k33"
+			o.CkptDir = "d"
+		}, 1, false, ""},
+		{"scrub-valid", func(o *hipmer.Options) { o.CkptDir = "d" }, 0, true, ""},
+		{"scrub-without-ckpt-dir", func(o *hipmer.Options) {}, 0, true, "-ckpt-dir"},
+		{"scrub-with-resume", func(o *hipmer.Options) {
+			o.CkptDir = "d"
+			o.Resume = true
+		}, 0, true, "mutually exclusive"},
+		{"scrub-with-fault", func(o *hipmer.Options) {
+			o.CkptDir = "d"
+			o.FaultSeed = 9
+		}, 0, true, "fault"},
+		{"scrub-with-disk-fault", func(o *hipmer.Options) {
+			o.CkptDir = "d"
+			o.DiskFaultSeed = 21
+		}, 0, true, "fault"},
+		{"scrub-with-chaos", func(o *hipmer.Options) {
+			o.CkptDir = "d"
+			o.ChaosSeed = 7
+		}, 0, true, "fault"},
+		// -scrub takes no reads; libraries are simply ignored, not an
+		// error, so `hipmer -scrub -ckpt-dir d` works without -reads.
+		{"scrub-ignores-libs", func(o *hipmer.Options) { o.CkptDir = "d" }, 1, true, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			o := ok
 			c.mutate(&o)
-			err := validateOptions(o, c.nLibs)
+			err := validateOptions(o, c.nLibs, c.scrub)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

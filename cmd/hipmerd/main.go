@@ -92,6 +92,7 @@ func main() {
 	lgBurst := flag.Int("lg-burst", 8, "loadgen: maximum burst size (1 disables bursts)")
 	lgFaultFrac := flag.Float64("lg-fault-frac", 0.04, "loadgen: fraction of jobs with an armed mid-pipeline crash")
 	lgChaosFrac := flag.Float64("lg-chaos-frac", 0.06, "loadgen: fraction of jobs with message chaos armed")
+	lgDiskFrac := flag.Float64("lg-disk-frac", 0.03, "loadgen: fraction of jobs with a storage fault armed (paired with a later crash so the resume must scrub and heal)")
 	lgMaxPrio := flag.Int("lg-max-priority", 2, "loadgen: priorities drawn from 0..N")
 	lgOversize := flag.Int("lg-oversize", 0, "loadgen: jobs requesting an unsatisfiable rank count (admission-rejection exercises)")
 	lgSeed := flag.Int64("lg-seed", 0, "loadgen: arrival/draw seed (0 = -seed)")
@@ -123,6 +124,7 @@ func main() {
 		Burst:       *lgBurst,
 		FaultFrac:   *lgFaultFrac,
 		ChaosFrac:   *lgChaosFrac,
+		DiskFrac:    *lgDiskFrac,
 		MaxPriority: *lgMaxPrio,
 		Oversize:    *lgOversize,
 	}
@@ -181,6 +183,7 @@ type loadgenOptions struct {
 	Burst       int
 	FaultFrac   float64
 	ChaosFrac   float64
+	DiskFrac    float64
 	MaxPriority int
 	Oversize    int
 }
@@ -214,6 +217,7 @@ func buildJobs(cfg sched.Config, jobsPath string, lg loadgenOptions, lgSeed, see
 		Burst:       lg.Burst,
 		FaultFrac:   lg.FaultFrac,
 		ChaosFrac:   lg.ChaosFrac,
+		DiskFrac:    lg.DiskFrac,
 		MaxPriority: lg.MaxPriority,
 		Oversize:    lg.Oversize,
 	}, templates)

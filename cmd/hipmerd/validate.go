@@ -48,6 +48,9 @@ func validateOptions(cfg sched.Config, jobsPath string, lg loadgenOptions, aging
 	if lg.ChaosFrac < 0 || lg.ChaosFrac > 1 {
 		return fmt.Errorf("-lg-chaos-frac must be in [0, 1], got %g", lg.ChaosFrac)
 	}
+	if lg.DiskFrac < 0 || lg.DiskFrac > 1 {
+		return fmt.Errorf("-lg-disk-frac must be in [0, 1], got %g", lg.DiskFrac)
+	}
 	if lg.MaxPriority < 0 {
 		return fmt.Errorf("-lg-max-priority must be >= 0, got %d", lg.MaxPriority)
 	}

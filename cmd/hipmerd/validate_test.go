@@ -67,6 +67,9 @@ func TestValidateOptions(t *testing.T) {
 		{"zero-burst", base, "", func() loadgenOptions { l := lgOK; l.Burst = 0; return l }(), 50, "-lg-burst"},
 		{"fault-frac-over-1", base, "", func() loadgenOptions { l := lgOK; l.FaultFrac = 1.5; return l }(), 50, "-lg-fault-frac"},
 		{"chaos-frac-negative", base, "", func() loadgenOptions { l := lgOK; l.ChaosFrac = -0.1; return l }(), 50, "-lg-chaos-frac"},
+		{"disk-frac-over-1", base, "", func() loadgenOptions { l := lgOK; l.DiskFrac = 1.2; return l }(), 50, "-lg-disk-frac"},
+		{"disk-frac-negative", base, "", func() loadgenOptions { l := lgOK; l.DiskFrac = -0.2; return l }(), 50, "-lg-disk-frac"},
+		{"disk-frac-ok", base, "", func() loadgenOptions { l := lgOK; l.DiskFrac = 0.05; return l }(), 50, ""},
 		{"negative-priority", base, "", func() loadgenOptions { l := lgOK; l.MaxPriority = -1; return l }(), 50, "-lg-max-priority"},
 		{"oversize-over-jobs", base, "", func() loadgenOptions { l := lgOK; l.Oversize = 101; return l }(), 50, "-lg-oversize"},
 	}

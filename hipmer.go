@@ -152,6 +152,17 @@ type Options struct {
 	// with a retry-exhaustion error (default 16). Only read when
 	// ChaosSeed is non-zero.
 	RetryBudget int
+	// DiskFaultSeed, with DiskFailStage, arms deterministic storage
+	// fault injection: the named stage's checkpoint write is damaged on
+	// disk (torn write, bit-flip, segment deletion, or refused write —
+	// the kind cycles with the seed). The faulted run itself completes
+	// bit-identically — damage lands only on disk — and a later resume
+	// detects it, scrubs the directory, and recomputes the damaged
+	// suffix. Requires CkptDir.
+	DiskFaultSeed int64
+	// DiskFailStage names the checkpointable stage whose segment write
+	// the storage fault targets (see StageNames).
+	DiskFailStage string
 }
 
 // StageTime reports one pipeline stage's simulated (virtual) duration —
@@ -282,6 +293,7 @@ func Assemble(libs []Library, opt Options) (*Result, error) {
 		CkptDir:             opt.CkptDir,
 		Resume:              opt.Resume,
 		Fault:               xrt.FaultPlan{Seed: opt.FaultSeed, Stage: opt.FailStage},
+		DiskFault:           xrt.DiskFaultPlan{Seed: opt.DiskFaultSeed, Stage: opt.DiskFailStage},
 	}
 	if opt.Verify {
 		cfg.Verify = &verify.Options{Ref: opt.VerifyRef}

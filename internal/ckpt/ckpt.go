@@ -79,6 +79,16 @@ var (
 	ErrBadManifest = errors.New("ckpt: bad manifest")
 	// ErrNoStage: the requested stage has no manifest entry.
 	ErrNoStage = errors.New("ckpt: stage not checkpointed")
+	// ErrWriteRefused: an injected ENOSPC-style storage fault refused the
+	// segment write; neither the segment nor a manifest entry exists. The
+	// caller treats the stage as simply not checkpointed.
+	ErrWriteRefused = errors.New("ckpt: segment write refused")
+	// ErrUnrecoverableCkpt: the run directory cannot seed a resume even
+	// after scrubbing — the manifest itself is missing or unparsable, so
+	// there is no intact prefix to heal back to. Segment damage alone is
+	// never unrecoverable (Scrub quarantines it and truncates to the
+	// longest intact prefix, worst case a full recompute).
+	ErrUnrecoverableCkpt = errors.New("ckpt: unrecoverable checkpoint")
 )
 
 // StageEntry is one completed stage's manifest record.
@@ -179,7 +189,27 @@ type Store struct {
 	// by AdoptTopology when a rescaled resume takes over the directory.
 	// New entries are stamped with its rank count.
 	runTopo Topology
+	// inj, when non-nil, intercepts segment writes (storage fault
+	// injection; see SetInjector).
+	inj Injector
 }
+
+// Injector intercepts segment writes for storage fault injection. The
+// manifest entry is always computed from the clean segment bytes, so an
+// injected corruption is indistinguishable from storage damage after a
+// successful write — exactly the failure a later resume must detect.
+type Injector interface {
+	// CorruptWrite inspects the framed segment bytes about to be
+	// persisted for a stage and returns the bytes to write instead (nil
+	// = write no file, simulating segment loss) plus whether the write
+	// is refused outright (ENOSPC: no file AND no manifest entry). A
+	// disinterested injector returns (seg, false).
+	CorruptWrite(stage string, seg []byte) (out []byte, refused bool)
+}
+
+// SetInjector installs (or with nil removes) a write-path storage fault
+// injector on the store.
+func (s *Store) SetInjector(inj Injector) { s.inj = inj }
 
 // Create starts a fresh run directory for the given fingerprint and
 // topology, creating it if needed and truncating any previous manifest
@@ -189,6 +219,7 @@ func Create(dir, fingerprint string, topo Topology) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: creating run directory: %w", err)
 	}
+	sweepTemps(dir)
 	s := &Store{dir: dir, man: Manifest{
 		Schema: Schema, Fingerprint: fingerprint, Topology: topo,
 	}, runTopo: topo}
@@ -217,6 +248,7 @@ func Resume(dir, fingerprint string) (*Store, error) {
 		return nil, fmt.Errorf("%w: checkpoint %q, run %q",
 			ErrFingerprintMismatch, m.Fingerprint, fingerprint)
 	}
+	sweepTemps(dir)
 	return &Store{dir: dir, man: *m, runTopo: m.Topology}, nil
 }
 
@@ -285,7 +317,23 @@ func (s *Store) WriteStage(stage string, payload []byte) (StageEntry, error) {
 func (s *Store) WriteStageRound(stage string, round int, payload []byte) (StageEntry, error) {
 	seg := encodeSegment(stage, payload)
 	file := segFileName(stage)
-	if err := atomicWrite(filepath.Join(s.dir, file), seg); err != nil {
+	path := filepath.Join(s.dir, file)
+	toDisk := seg
+	if s.inj != nil {
+		out, refused := s.inj.CorruptWrite(stage, seg)
+		if refused {
+			return StageEntry{}, fmt.Errorf("%w: %s", ErrWriteRefused, stage)
+		}
+		toDisk = out
+	}
+	if toDisk == nil {
+		// Injected segment loss: the manifest entry below still lands, so
+		// the directory looks exactly like a file vanished after a clean
+		// write. Any stale segment from a replaced stage must go too.
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return StageEntry{}, fmt.Errorf("ckpt: removing segment for %s: %w", stage, err)
+		}
+	} else if err := atomicWrite(path, toDisk); err != nil {
 		return StageEntry{}, fmt.Errorf("ckpt: writing segment for %s: %w", stage, err)
 	}
 	entry := StageEntry{

@@ -274,6 +274,15 @@ func FuzzManifest(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add(encodeSegment("kmer-analysis", []byte("payload")))
 	f.Add([]byte(segMagic))
+	// Quarantine artifacts: a scrubbed manifest (truncated to the intact
+	// prefix after storage damage) and the damaged segment shapes Scrub
+	// moves aside — a torn prefix and a bit-flipped copy.
+	f.Add([]byte(`{"schema":"hipmer-ckpt/v4","fingerprint":"00","topology":{"ranks":4,"ranks_per_node":2},"stages":[{"name":"kmer-analysis","file":"kmer-analysis.seg","seq":0,"ranks":4,"bytes":42,"crc32":7,"content_hash":"00"}]}`))
+	quarantined := encodeSegment("contig-generation", []byte("quarantined payload"))
+	f.Add(quarantined[: len(quarantined)/2 : len(quarantined)/2])
+	flipped := append([]byte(nil), quarantined...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if m, err := ParseManifest(b); err == nil {
 			if m.Topology.Ranks < 1 || m.Topology.RanksPerNode < 1 {

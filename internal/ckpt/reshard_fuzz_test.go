@@ -79,6 +79,17 @@ func FuzzReshardDecode(f *testing.F) {
 	}
 	f.Add([]byte{}, 1)
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 4)
+	// Quarantine-shaped corpus: the storage-damage forms Scrub moves
+	// aside — torn prefixes and single-bit flips of real payloads — so
+	// the decoders are fuzzed from exactly what a damaged directory holds.
+	for _, b := range realStagePayloads() {
+		if len(b) >= 2 {
+			f.Add(b[:len(b)/2:len(b)/2], 4)
+		}
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/2] ^= 0x04
+		f.Add(flipped, 4)
+	}
 
 	f.Fuzz(func(t *testing.T, b []byte, dst int) {
 		if res, err := ckpt.DecodeContigStageReshard(b, dst); err == nil {

@@ -1,0 +1,287 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"hipmer/internal/metrics"
+	"hipmer/internal/pipeline"
+	"hipmer/internal/sched"
+	"hipmer/internal/verify"
+	"hipmer/internal/xrt"
+)
+
+// DiskFaultRow is one dataset's storage-fault verdict. For every
+// checkpointable stage and every disk seed the pipeline runs with
+// checkpointing and an armed DiskFaultPlan — the run must still
+// complete bit-identically (damage lands only on disk) with the fault
+// counted in its metrics — and then resumes in a fresh team with the
+// fault disarmed: the resume must detect the damage, scrub, recompute
+// the damaged suffix, and again match the uninterrupted assembly.
+type DiskFaultRow struct {
+	Dataset string
+	Seeds   []int64
+	// Cells is the (stage × seed) grid size; the counters below each
+	// count cells.
+	Cells int
+	// Fired: the faulted run's metrics recorded disk_faults > 0.
+	Fired int
+	// Healed: the disarmed resume completed without error.
+	Healed int
+	// Scrubbed: the resume's metrics recorded scrub_repaired_bytes > 0.
+	// Expected only for kinds that leave a damaged-but-recorded entry
+	// (ExpectScrub); a refused write leaves no manifest entry, so its
+	// resume recomputes silently without a scrub pass.
+	Scrubbed    int
+	ExpectScrub int
+	// BitIdentical: every faulted run AND every healed resume matched
+	// the uninterrupted assembly as a canonical sequence multiset.
+	BitIdentical bool
+	// Err is the first error encountered, for the report.
+	Err string
+}
+
+// Gate reports whether the row satisfies the sweep's acceptance bar:
+// every injected fault fired and was counted, every resume healed
+// bit-identically, and scrub repairs appeared exactly where the fault
+// kind predicts them.
+func (r DiskFaultRow) Gate() bool {
+	return r.BitIdentical && r.Fired == r.Cells && r.Healed == r.Cells &&
+		r.Scrubbed == r.ExpectScrub && r.ExpectScrub > 0
+}
+
+// DiskServiceRow is the service leg: a small multi-tenant workload with
+// disk faults armed by the load generator (each paired with a later
+// crash, so every disk-armed job must requeue and heal mid-service),
+// run twice — the hipmer-sched/v1 report must stay byte-identical and
+// no job may fail terminally.
+type DiskServiceRow struct {
+	Jobs int
+	// DiskJobs counts jobs the generator armed with a storage fault.
+	DiskJobs  int
+	Completed int
+	Failed    int
+	// ReportIdentical: both passes produced byte-identical report JSON.
+	ReportIdentical bool
+	Err             string
+}
+
+// Gate is the service leg's pass condition.
+func (r DiskServiceRow) Gate() bool {
+	return r.Err == "" && r.DiskJobs > 0 && r.Failed == 0 && r.ReportIdentical
+}
+
+// diskFaultSeeds are chosen so the kind cycle (1 + seed%4) covers all
+// four damage kinds: bit-flip, delete, write-refused, torn-write.
+var diskFaultSeeds = []int64{21, 22, 23, 24}
+
+const diskFaultRanks = 16
+
+// DiskFaultSweep proves storage-fault self-healing on the simulated
+// human and wheat datasets (every checkpointable stage × every damage
+// kind), then exercises the same healing under the multi-tenant
+// scheduler.
+func DiskFaultSweep(sc Scale) ([]DiskFaultRow, DiskServiceRow, string) {
+	type dataset struct {
+		name string
+		libs []pipeline.Library
+	}
+	_, hLibs := pipeline.SimulatedHuman(sc.Seed+2, sc.HumanLen, sc.HumanCov)
+	_, wLibs := pipeline.SimulatedWheat(sc.Seed+3, sc.WheatLen, sc.WheatCov)
+	datasets := []dataset{{"human", hLibs}, {"wheat", wLibs}}
+
+	baseCfg := pipeline.Config{K: sc.K, MinCount: 3}
+	var stages []string
+	for _, name := range pipeline.StageNames(baseCfg) {
+		if name != "io" { // io has no save codec — nothing to damage
+			stages = append(stages, name)
+		}
+	}
+
+	var rows []DiskFaultRow
+	for _, ds := range datasets {
+		row := DiskFaultRow{
+			Dataset: ds.name, Seeds: diskFaultSeeds,
+			Cells: len(stages) * len(diskFaultSeeds), BitIdentical: true,
+		}
+		base, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(diskFaultRanks)), ds.libs, baseCfg)
+		if err != nil {
+			row.BitIdentical = false
+			row.Err = err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		baseSet := verify.CanonicalSet(base.FinalSeqs)
+
+		for _, stage := range stages {
+			for _, seed := range diskFaultSeeds {
+				plan := xrt.DiskFaultPlan{Seed: seed, Stage: stage}
+				if plan.Kind() != xrt.DiskFaultWriteRefused {
+					row.ExpectScrub++
+				}
+				dir, err := os.MkdirTemp("", "hipmer-diskfault-*")
+				if err != nil {
+					row.Err = err.Error()
+					break
+				}
+				cfg := baseCfg
+				cfg.CkptDir = dir
+				cfg.DiskFault = plan
+				res, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(diskFaultRanks)), ds.libs, cfg)
+				if err != nil {
+					// A disk fault must never fail the faulted run itself.
+					row.BitIdentical = false
+					if row.Err == "" {
+						row.Err = err.Error()
+					}
+					os.RemoveAll(dir)
+					continue
+				}
+				if !verify.EqualSets(baseSet, verify.CanonicalSet(res.FinalSeqs)) {
+					row.BitIdentical = false
+				}
+				if sumComm(res, func(c metrics.Comm) int64 { return c.DiskFaults }) > 0 {
+					row.Fired++
+				}
+
+				rcfg := baseCfg
+				rcfg.CkptDir = dir
+				rcfg.Resume = true
+				rres, err := pipeline.Run(xrt.NewTeam(sc.teamCfg(diskFaultRanks)), ds.libs, rcfg)
+				if err != nil {
+					row.BitIdentical = false
+					if row.Err == "" {
+						row.Err = fmt.Sprintf("%s@%d: resume: %v", stage, seed, err)
+					}
+					os.RemoveAll(dir)
+					continue
+				}
+				row.Healed++
+				if !verify.EqualSets(baseSet, verify.CanonicalSet(rres.FinalSeqs)) {
+					row.BitIdentical = false
+				}
+				if sumComm(rres, func(c metrics.Comm) int64 { return c.ScrubRepairedBytes }) > 0 {
+					row.Scrubbed++
+				}
+				os.RemoveAll(dir)
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	svc := diskServiceLeg(sc.Seed)
+
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Dataset,
+			fmt.Sprintf("%v×%d stages", r.Seeds, r.Cells/len(r.Seeds)),
+			fmt.Sprintf("%d/%d", r.Fired, r.Cells),
+			fmt.Sprintf("%d/%d", r.Healed, r.Cells),
+			fmt.Sprintf("%d/%d", r.Scrubbed, r.ExpectScrub),
+			pass(r.BitIdentical),
+		})
+	}
+	text := "Disk-fault sweep (injected storage damage -> scrub -> healed resume, bit-identical)\n" +
+		fmtTable([]string{"dataset", "grid", "fired", "healed", "scrubbed", "assembly"}, tab)
+	for _, r := range rows {
+		if r.Err != "" {
+			text += fmt.Sprintf("  %s: %s\n", r.Dataset, r.Err)
+		}
+	}
+	text += fmt.Sprintf("\nService leg: %d jobs (%d disk-armed), %d completed, %d failed, report deterministic: %v\n",
+		svc.Jobs, svc.DiskJobs, svc.Completed, svc.Failed, svc.ReportIdentical)
+	if svc.Err != "" {
+		text += fmt.Sprintf("  service: %s\n", svc.Err)
+	}
+	return rows, svc, text
+}
+
+// sumComm totals one Comm field over every span of a run's report.
+func sumComm(res *pipeline.Result, field func(metrics.Comm) int64) int64 {
+	if res.Metrics == nil {
+		return 0
+	}
+	var n int64
+	for _, st := range res.Metrics.Stages {
+		n += field(st.Comm)
+	}
+	return n
+}
+
+// diskServiceLeg runs the small disk-armed workload twice and compares
+// report bytes. Kept apart from ServeSweep so the committed
+// BENCH_sched.json trajectory (whose load draws must not shift) is
+// untouched.
+func diskServiceLeg(seed int64) DiskServiceRow {
+	const jobs, tenants, ranks = 24, 4, 32
+	row := DiskServiceRow{Jobs: jobs}
+	tmp, err := os.MkdirTemp("", "hipmer-disksvc-*")
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	defer os.RemoveAll(tmp)
+	tpls, err := sched.DefaultTemplates(seed, tmp)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	specs, err := sched.GenJobs(sched.LoadConfig{
+		Seed:      seed,
+		Tenants:   tenants,
+		Jobs:      jobs,
+		MeanGapNs: int64(3 * time.Millisecond),
+		Burst:     4,
+		DiskFrac:  0.4,
+	}, tpls)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	for _, spec := range specs {
+		if spec.DiskFaultSeed != 0 {
+			row.DiskJobs++
+		}
+	}
+	cfg := sched.Config{
+		Ranks:        ranks,
+		RanksPerNode: 8,
+		Seed:         seed,
+		QueueCap:     jobs + 1,
+		Tenants:      sched.DefaultTenantConfigs(tenants, ranks, 8),
+	}
+	run := func() (*sched.Outcome, error) {
+		s, err := sched.New(cfg, &sched.PipelineRunner{})
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(specs)
+	}
+	out1, err := run()
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	out2, err := run()
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	row.Completed = out1.Report.Completed
+	row.Failed = out1.Report.Failed
+	b1, err := out1.Report.Marshal()
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	b2, err := out2.Report.Marshal()
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	row.ReportIdentical = bytes.Equal(b1, b2)
+	return row
+}

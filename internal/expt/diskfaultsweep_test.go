@@ -1,0 +1,46 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiskFaultSweepAllGreen runs the storage-fault harness at tiny
+// scale. Deliberately NOT gated behind -short: this is the CI diskfault
+// job's workload, sized to stay fast.
+func TestDiskFaultSweepAllGreen(t *testing.T) {
+	rows, svc, text := DiskFaultSweep(tinyScale())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s: sweep error: %s", r.Dataset, r.Err)
+		}
+		if r.Fired != r.Cells {
+			t.Errorf("%s: only %d/%d injected faults were counted", r.Dataset, r.Fired, r.Cells)
+		}
+		if r.Healed != r.Cells {
+			t.Errorf("%s: only %d/%d resumes healed", r.Dataset, r.Healed, r.Cells)
+		}
+		if r.Scrubbed != r.ExpectScrub {
+			t.Errorf("%s: %d/%d resumes reported scrub repairs", r.Dataset, r.Scrubbed, r.ExpectScrub)
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s: a faulted run or healed resume diverged from the clean assembly", r.Dataset)
+		}
+		if !r.Gate() {
+			t.Errorf("%s: gate failed: %+v", r.Dataset, r)
+		}
+	}
+	if svc.Err != "" {
+		t.Errorf("service leg error: %s", svc.Err)
+	}
+	if !svc.Gate() {
+		t.Errorf("service leg gate failed: %+v", svc)
+	}
+	if !strings.Contains(text, "human") || !strings.Contains(text, "wheat") {
+		t.Fatalf("report missing datasets:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}

@@ -96,6 +96,11 @@ type Comm struct {
 	Retries          int64 `json:"retries"`
 	Dups             int64 `json:"dups"`
 	RedeliveredBytes int64 `json:"redelivered_bytes"`
+	// Storage-fault counters, nonzero only under an xrt DiskFaultPlan:
+	// checkpoint segments damaged by injection, and the manifest bytes a
+	// scrub pass dropped back to recomputation while healing a resume.
+	DiskFaults         int64 `json:"disk_faults"`
+	ScrubRepairedBytes int64 `json:"scrub_repaired_bytes"`
 
 	OffNodeLookupFrac float64 `json:"off_node_lookup_frac"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
@@ -104,22 +109,24 @@ type Comm struct {
 
 func commFrom(s xrt.CommStats) Comm {
 	return Comm{
-		LocalLookups:     s.LocalLookups,
-		OnNodeLookups:    s.OnNodeLookups,
-		OffNodeLookups:   s.OffNodeLookups,
-		LocalStores:      s.LocalStores,
-		OnNodeMsgs:       s.OnNodeMsgs,
-		OffNodeMsgs:      s.OffNodeMsgs,
-		OnNodeBytes:      s.OnNodeBytes,
-		OffNodeBytes:     s.OffNodeBytes,
-		IOBytes:          s.IOBytes,
-		IOWriteBytes:     s.IOWriteBytes,
-		CacheHits:        s.CacheHits,
-		CacheMisses:      s.CacheMisses,
-		Drops:            s.Drops,
-		Retries:          s.Retries,
-		Dups:             s.Dups,
-		RedeliveredBytes: s.RedeliveredBytes,
+		LocalLookups:       s.LocalLookups,
+		OnNodeLookups:      s.OnNodeLookups,
+		OffNodeLookups:     s.OffNodeLookups,
+		LocalStores:        s.LocalStores,
+		OnNodeMsgs:         s.OnNodeMsgs,
+		OffNodeMsgs:        s.OffNodeMsgs,
+		OnNodeBytes:        s.OnNodeBytes,
+		OffNodeBytes:       s.OffNodeBytes,
+		IOBytes:            s.IOBytes,
+		IOWriteBytes:       s.IOWriteBytes,
+		CacheHits:          s.CacheHits,
+		CacheMisses:        s.CacheMisses,
+		Drops:              s.Drops,
+		Retries:            s.Retries,
+		Dups:               s.Dups,
+		RedeliveredBytes:   s.RedeliveredBytes,
+		DiskFaults:         s.DiskFaults,
+		ScrubRepairedBytes: s.ScrubRepairedBytes,
 
 		OffNodeLookupFrac: s.OffNodeLookupFrac(),
 		CacheHitRate:      s.CacheHitRate(),

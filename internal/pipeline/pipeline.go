@@ -5,6 +5,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -110,6 +111,15 @@ type Config struct {
 	// named stage (see xrt.FaultPlan); Run then returns a
 	// *StageFailedError. Used by the crash-resume harness.
 	Fault xrt.FaultPlan
+	// DiskFault, when enabled, deterministically damages the checkpoint
+	// segment the named stage writes (see xrt.DiskFaultPlan): the run
+	// itself completes bit-identically — the damage lands only on disk,
+	// with the manifest entry computed from the clean bytes — and a LATER
+	// resume detects it, scrubs it away, and recomputes the damaged
+	// suffix. Requires CkptDir to have any effect. The seed is excluded
+	// from the checkpoint fingerprint (it represents the failure being
+	// recovered from), so a healing resume needs no matching flag.
+	DiskFault xrt.DiskFaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -210,12 +220,26 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 		mergeStat: map[string]contig.MergeStats{},
 	}
 	var store *ckpt.Store
+	var fp string
 	for _, st := range stages {
 		if store != nil && cfg.Resume && st.load != nil && store.Completed(st.name) {
-			if err := loadStage(env, store, st); err != nil {
-				return nil, err
+			lerr := loadStage(env, store, st)
+			if lerr == nil {
+				continue
 			}
-			continue
+			if !healableCkptErr(lerr) {
+				return nil, lerr
+			}
+			// Storage damage surfaced mid-rehydration (corrupt or missing
+			// segment): scrub the directory — quarantine the damage,
+			// truncate the manifest to the longest intact prefix — reopen,
+			// and fall through to recompute this stage. Later stages whose
+			// entries were dropped recompute too: Completed is now false
+			// for everything from the damage onward.
+			store, lerr = healCkpt(env, fp)
+			if lerr != nil {
+				return nil, lerr
+			}
 		}
 		armed := cfg.Fault.Enabled() && cfg.Fault.Stage == st.name
 		if armed {
@@ -231,13 +255,20 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 		if st.name == "io" && cfg.CkptDir != "" {
 			// The store opens only after io: the fingerprint's domain is
 			// the parsed read content, so io always reruns.
-			fp, ferr := runFingerprint(team, cfg, libs, env.readLibs)
+			var ferr error
+			fp, ferr = runFingerprint(team, cfg, libs, env.readLibs)
 			if ferr != nil {
 				return nil, ferr
 			}
 			var serr error
 			if cfg.Resume {
 				store, serr = ckpt.Resume(cfg.CkptDir, fp)
+				if errors.Is(serr, ckpt.ErrBadManifest) {
+					// An unparsable manifest cannot seed a resume and Scrub
+					// cannot heal it either: there is no trustworthy record
+					// of an intact prefix.
+					serr = fmt.Errorf("%w: %w", ckpt.ErrUnrecoverableCkpt, serr)
+				}
 				if serr == nil {
 					// Per-entry source partitions drive load-time
 					// re-sharding (elastic rescale); only oracle-placed
@@ -267,6 +298,7 @@ func Run(team *xrt.Team, libs []Library, cfg Config) (*Result, error) {
 			if serr != nil {
 				return nil, serr
 			}
+			env.installInjector(store)
 		}
 		if store != nil && st.save != nil {
 			if err := saveStage(env, store, st); err != nil {

@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -71,6 +72,11 @@ type stageEnv struct {
 	// extraTimings are appended to Result.Timings right after the
 	// current stage's own entry (scaffolding's merAligner sub-timing).
 	extraTimings []StageTiming
+
+	// disk is the armed storage-fault injector, nil when Config.DiskFault
+	// is disabled. Installed on every store this run opens (including a
+	// reopen after a heal) so one injection plan survives the swap.
+	disk *diskInjector
 
 	// srcRanks is the source partition of the stage entry currently
 	// being loaded — the rank count of the run that wrote it, stamped
@@ -511,12 +517,38 @@ func saveStage(env *stageEnv, store *ckpt.Store, st stage) error {
 	}
 	entry, err := store.WriteStageRound(st.name, st.round, payload)
 	if err != nil {
+		if errors.Is(err, ckpt.ErrWriteRefused) {
+			// Injected ENOSPC: no segment, no manifest entry. The stage
+			// itself succeeded, so the run carries on — a later resume
+			// simply recomputes the hole. The attempted write is still
+			// charged (the bytes hit the wire before the refusal) and the
+			// fault counted on rank 0.
+			if env.disk != nil {
+				env.disk.take()
+			}
+			env.team.BeginSpan("checkpoint-save:" + st.name)
+			share := int64(len(payload))/int64(env.team.Config().Ranks) + 1
+			env.team.Run(func(r *xrt.Rank) {
+				r.ChargeIOWrite(share)
+				if r.ID == 0 {
+					r.CountDiskFault()
+				}
+			})
+			env.team.EndSpan()
+			return nil
+		}
 		return fmt.Errorf("pipeline: checkpointing %s: %w", st.name, err)
 	}
+	fired := env.disk != nil && env.disk.take() != xrt.DiskFaultNone
 	env.team.BeginSpan("checkpoint-save:" + st.name)
 	env.team.AddCounter("ckpt_bytes", entry.Bytes)
 	share := entry.Bytes/int64(env.team.Config().Ranks) + 1
-	env.team.Run(func(r *xrt.Rank) { r.ChargeIOWrite(share) })
+	env.team.Run(func(r *xrt.Rank) {
+		r.ChargeIOWrite(share)
+		if fired && r.ID == 0 {
+			r.CountDiskFault()
+		}
+	})
 	env.team.EndSpan()
 	return nil
 }
@@ -555,12 +587,12 @@ func loadStage(env *stageEnv, store *ckpt.Store, st stage) error {
 // separately as the manifest's Topology — so a checkpoint resumes on a
 // different rank count (elastic rescale) while a different config or
 // input is still refused. Computed after io (reads are the fingerprint's
-// domain, so io always reruns). Perturb, fault, and chaos seeds are
-// likewise excluded: they must not change outputs (schedule
+// domain, so io always reruns). Perturb, fault, chaos, and disk-fault
+// seeds are likewise excluded: they must not change outputs (schedule
 // perturbation, message-level chaos) or represent the failure being
-// recovered from (fault injection, retry exhaustion), so a checkpoint
-// from a crashed run resumes under any of them — including a calmer
-// chaos plan than the one that killed it.
+// recovered from (fault injection, retry exhaustion, storage damage),
+// so a checkpoint from a crashed or damaged run resumes under any of
+// them — including a calmer plan than the one that broke it.
 func runFingerprint(team *xrt.Team, cfg Config, libs []Library, readLibs []scaffold.ReadLib) (string, error) {
 	f := ckpt.NewFingerprint()
 	f.Str(ckpt.Schema)

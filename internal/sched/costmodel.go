@@ -215,6 +215,21 @@ func billedPrefix(marks []StageMark, failedStage string) []string {
 	return prefix
 }
 
+// trimBilledAt cuts a billed rehydration prefix at the stage whose
+// checkpoint an armed disk fault damaged: the stages strictly before it
+// stay rehydratable, the damaged stage and everything after are billed
+// as recomputed — the billing mirror of the physical scrub-and-heal the
+// resume performs. A disk stage absent from the prefix (the attempt
+// failed before reaching it) leaves the prefix unchanged.
+func trimBilledAt(prefix []string, diskStage string) []string {
+	for i, s := range prefix {
+		if s == diskStage {
+			return prefix[:i:i]
+		}
+	}
+	return prefix
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

@@ -76,6 +76,13 @@ type LoadConfig struct {
 	// them get a hard plan (50% drop, retry budget 1) that is guaranteed
 	// to exhaust and requeue. In [0, 1].
 	ChaosFrac float64
+	// DiskFrac of jobs arrive with an armed storage fault paired with a
+	// rank crash strictly after it: attempt 1 damages one stage's
+	// checkpoint on disk, then crashes later, so the requeued resume must
+	// detect the damage, scrub, and recompute the suffix. In [0, 1].
+	// Zero leaves the PRNG draw stream untouched (existing workload
+	// baselines stay valid).
+	DiskFrac float64
 	// MaxPriority draws per-job priorities uniformly from 0..MaxPriority
 	// (0 = single priority class).
 	MaxPriority int
@@ -105,6 +112,9 @@ func (c LoadConfig) Validate() error {
 	}
 	if c.ChaosFrac < 0 || c.ChaosFrac > 1 {
 		return fmt.Errorf("chaos fraction must be in [0, 1], got %g", c.ChaosFrac)
+	}
+	if c.DiskFrac < 0 || c.DiskFrac > 1 {
+		return fmt.Errorf("disk-fault fraction must be in [0, 1], got %g", c.DiskFrac)
 	}
 	if c.MaxPriority < 0 {
 		return fmt.Errorf("max priority must be >= 0, got %d", c.MaxPriority)
@@ -254,6 +264,21 @@ func GenJobs(c LoadConfig, templates []Template) ([]JobSpec, error) {
 					spec.DropRate = 0.05 + 0.10*prng.Float64()
 					spec.RetryBudget = 16
 				}
+			}
+			// The DiskFrac > 0 guard keeps the draw stream identical to
+			// older configs when disk faults are off.
+			if names := pipeline.StageNames(tpl.Pipeline); c.DiskFrac > 0 &&
+				len(names) >= 3 && prng.Float64() < c.DiskFrac {
+				// A damaged checkpoint only matters if the job comes back
+				// for it: pair the disk fault with a crash strictly after
+				// it. Attempt 1 damages stage di's segment, crashes later;
+				// the requeued resume detects the damage, scrubs, and
+				// recomputes di..end.
+				di := 1 + prng.Intn(len(names)-2)
+				spec.DiskFaultStage = names[di]
+				spec.DiskFaultSeed = prng.Int63() | 1
+				spec.FailStage = names[di+1+prng.Intn(len(names)-1-di)]
+				spec.FaultSeed = prng.Int63() | 1
 			}
 			specs = append(specs, spec)
 		}

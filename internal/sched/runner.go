@@ -27,11 +27,18 @@ type Attempt struct {
 	// scheduler tracks it so billing never reads the physical checkpoint
 	// — a failed attempt's manifest records whichever stages the real
 	// goroutines happened to finish, which is schedule-dependent.
-	BilledDone []string
-	Fault      xrt.FaultPlan
-	ChaosSeed  int64
-	DropRate   float64
+	BilledDone  []string
+	Fault       xrt.FaultPlan
+	ChaosSeed   int64
+	DropRate    float64
 	RetryBudget int
+	// DiskFault arms storage damage on this attempt's checkpoint write
+	// for the plan's stage. The attempt still completes bit-identically;
+	// the damage surfaces only if a failure sends the job back to its
+	// checkpoint, where the resume scrubs and recomputes — so billing
+	// trims the requeued attempt's rehydration prefix to the stages
+	// strictly before the disk stage (see trimBilledAt).
+	DiskFault xrt.DiskFaultPlan
 }
 
 // StageMark records one completed stage of an attempt and its
@@ -130,6 +137,7 @@ func (r *PipelineRunner) Run(spec JobSpec, att Attempt) RunOutcome {
 	pcfg.CkptDir = att.CkptDir
 	pcfg.Resume = att.Resume
 	pcfg.Fault = att.Fault
+	pcfg.DiskFault = att.DiskFault
 
 	// The billed timeline comes from the accounting model, anchored on
 	// the billed completed-stage prefix the scheduler tracked for this
@@ -158,6 +166,12 @@ func (r *PipelineRunner) Run(spec JobSpec, att Attempt) RunOutcome {
 		out.FailedStage = stage
 		out.Virtual = modelFailureVirtual(marks, stage)
 		out.BilledDone = billedPrefix(marks, stage)
+		if att.DiskFault.Enabled() {
+			// The attempt also damaged the disk stage's checkpoint: the
+			// requeued resume will scrub and recompute from there, so the
+			// billed rehydration prefix stops strictly before it.
+			out.BilledDone = trimBilledAt(out.BilledDone, att.DiskFault.Stage)
+		}
 		out.Err = errText
 		return out
 	}

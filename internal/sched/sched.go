@@ -225,6 +225,17 @@ type JobSpec struct {
 	ChaosSeed   int64
 	DropRate    float64
 	RetryBudget int
+	// DiskFaultSeed / DiskFaultStage arm deterministic storage damage on
+	// the job's FIRST attempt: the named stage's checkpoint write is
+	// corrupted on disk (the attempt itself completes bit-identically).
+	// The damage only matters when something sends the job back to its
+	// checkpoint — a crash or chaos failure later in the same attempt —
+	// so the billed rehydration prefix is trimmed to the stages before
+	// the disk stage and the requeued attempt is billed for recomputing
+	// the damaged suffix (see costmodel.go). Requeued attempts run with
+	// the disk fault disarmed.
+	DiskFaultSeed  int64
+	DiskFaultStage string
 }
 
 // Job states in JobResult.State.
@@ -301,20 +312,21 @@ type job struct {
 	resume     bool
 	faultArmed bool
 	chaosArmed bool
+	diskArmed  bool
 
 	arrival    time.Duration
 	firstStart time.Duration
 	lastStart  time.Duration
 	done       time.Duration
 
-	attempts   int
-	requeues   int
-	preempts   int
-	alloc      int // current allocation while running
-	ranksUsed  []int
-	rescaled   bool
-	ckptDir    string
-	wroteCkpt  bool
+	attempts  int
+	requeues  int
+	preempts  int
+	alloc     int // current allocation while running
+	ranksUsed []int
+	rescaled  bool
+	ckptDir   string
+	wroteCkpt bool
 	// billedDone is the billed completed-stage prefix the next attempt
 	// rehydrates (set on requeue and preemption; see Attempt.BilledDone).
 	billedDone []string
@@ -485,6 +497,7 @@ func (s *Scheduler) Run(specs []JobSpec) (*Outcome, error) {
 			id: i, spec: spec, arrival: spec.Arrival,
 			faultArmed: spec.FaultSeed != 0 && spec.FailStage != "",
 			chaosArmed: spec.ChaosSeed != 0,
+			diskArmed:  spec.DiskFaultSeed != 0 && spec.DiskFaultStage != "",
 		}
 		if j.spec.Seed == 0 {
 			j.spec.Seed = 1
@@ -697,6 +710,9 @@ func (s *Scheduler) start(j *job, alloc int) {
 		att.DropRate = j.spec.DropRate
 		att.RetryBudget = j.spec.RetryBudget
 	}
+	if j.diskArmed {
+		att.DiskFault = xrt.DiskFaultPlan{Seed: j.spec.DiskFaultSeed, Stage: j.spec.DiskFaultStage}
+	}
 	j.outcome = s.runner.Run(j.spec, att)
 	j.wroteCkpt = true
 	s.running = append(s.running, j)
@@ -745,6 +761,7 @@ func (s *Scheduler) finish(j *job) {
 		j.resume = true
 		j.faultArmed = false
 		j.chaosArmed = false
+		j.diskArmed = false
 		j.billedDone = out.BilledDone
 		j.requeues++
 		s.requeues++

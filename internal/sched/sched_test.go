@@ -326,6 +326,7 @@ func TestLoadConfigValidate(t *testing.T) {
 		{"negative burst", func(c *LoadConfig) { c.Burst = -1 }, "burst"},
 		{"fault frac", func(c *LoadConfig) { c.FaultFrac = 1.5 }, "fault fraction"},
 		{"chaos frac", func(c *LoadConfig) { c.ChaosFrac = -0.1 }, "chaos fraction"},
+		{"disk frac", func(c *LoadConfig) { c.DiskFrac = 1.5 }, "disk-fault fraction"},
 		{"priority", func(c *LoadConfig) { c.MaxPriority = -2 }, "priority"},
 		{"oversize", func(c *LoadConfig) { c.Oversize = 101 }, "oversize"},
 	}

@@ -1,0 +1,119 @@
+package xrt
+
+// Storage fault injection. A DiskFaultPlan is the third injection layer
+// next to FaultPlan (fail-stop rank crashes) and MessageFaultPlan
+// (lossy transport): it deterministically damages the checkpoint
+// segment one stage writes, standing in for the parallel-file-system
+// failure modes a real extreme-scale run sees — torn writes, bit-rot,
+// lost files, and ENOSPC-style write refusals.
+//
+// Determinism contract: like the other layers, a disk fault never
+// changes what an assembly computes. The damaged bytes land only on
+// disk; the in-memory pipeline state and the manifest entry (computed
+// from the clean segment, exactly as if the damage happened after a
+// successful write) are untouched, so the faulted run's output is
+// bit-identical to a fault-free run. The damage is observed only by a
+// LATER resume, which detects it (CRC/content-hash validation), scrubs
+// it away, and recomputes — paying virtual time and the DiskFaults/
+// ScrubRepairedBytes counters, never correctness.
+//
+// The plan draws every decision (fault kind, torn-write offset,
+// flipped bit) from its own Splitmix64 stream, decoupled from the
+// rank RNGs and from the other fault layers' streams, so arming a disk
+// fault cannot perturb any algorithmic decision. The kind cycles with
+// the seed (1 + seed mod 4), so a sweep over four consecutive seeds
+// covers all four fault kinds.
+
+// DiskFaultKind names the storage failure mode a plan injects.
+type DiskFaultKind int
+
+const (
+	// DiskFaultNone: the write was not targeted; nothing was damaged.
+	DiskFaultNone DiskFaultKind = iota
+	// DiskFaultTornWrite truncates the segment at a seeded offset — the
+	// classic partial write of a node dying mid-checkpoint.
+	DiskFaultTornWrite
+	// DiskFaultBitFlip flips one seeded bit of the segment — bit-rot or
+	// a corrupted transfer that the file system did not catch.
+	DiskFaultBitFlip
+	// DiskFaultDelete loses the segment file entirely while the
+	// manifest still references it.
+	DiskFaultDelete
+	// DiskFaultWriteRefused refuses the write outright (ENOSPC): no
+	// segment and no manifest entry; the stage is simply not
+	// checkpointed.
+	DiskFaultWriteRefused
+)
+
+func (k DiskFaultKind) String() string {
+	switch k {
+	case DiskFaultTornWrite:
+		return "torn-write"
+	case DiskFaultBitFlip:
+		return "bit-flip"
+	case DiskFaultDelete:
+		return "delete"
+	case DiskFaultWriteRefused:
+		return "write-refused"
+	default:
+		return "none"
+	}
+}
+
+// diskFaultSalt decouples the disk-fault decision stream from the rank
+// RNG streams and the other fault layers' seeds.
+const diskFaultSalt = 0xd15c0fa17
+
+// DiskFaultPlan arms one injected storage fault against the checkpoint
+// segment written by the named stage. The zero value is disabled.
+type DiskFaultPlan struct {
+	// Seed selects the fault kind and its parameters; 0 disables.
+	Seed int64
+	// Stage is the checkpointed stage whose segment write is damaged.
+	Stage string
+}
+
+// Enabled reports whether the plan is armed.
+func (p DiskFaultPlan) Enabled() bool { return p.Seed != 0 && p.Stage != "" }
+
+// Kind returns the failure mode this plan injects. It depends only on
+// the seed (1 + seed mod 4), so harnesses can pick seeds that cover
+// specific kinds without knowing the segment contents.
+func (p DiskFaultPlan) Kind() DiskFaultKind {
+	if !p.Enabled() {
+		return DiskFaultNone
+	}
+	return DiskFaultKind(1 + uint64(p.Seed)%4)
+}
+
+// Apply damages the framed segment bytes a stage is about to persist.
+// It returns the bytes to write in place of seg (nil = write no file)
+// and the injected kind; an unarmed plan or a non-target stage returns
+// seg unchanged with DiskFaultNone. Apply never mutates seg.
+func (p DiskFaultPlan) Apply(stage string, seg []byte) ([]byte, DiskFaultKind) {
+	if !p.Enabled() || stage != p.Stage {
+		return seg, DiskFaultNone
+	}
+	x := Splitmix64(uint64(p.Seed) ^ diskFaultSalt)
+	switch kind := p.Kind(); kind {
+	case DiskFaultTornWrite:
+		if len(seg) < 2 {
+			return nil, kind
+		}
+		cut := 1 + int(x%uint64(len(seg)-1))
+		return seg[:cut:cut], kind
+	case DiskFaultBitFlip:
+		if len(seg) == 0 {
+			return seg, kind
+		}
+		out := make([]byte, len(seg))
+		copy(out, seg)
+		bit := Splitmix64(x) % 8
+		out[x%uint64(len(seg))] ^= 1 << bit
+		return out, kind
+	case DiskFaultDelete:
+		return nil, kind
+	default: // DiskFaultWriteRefused
+		return nil, kind
+	}
+}

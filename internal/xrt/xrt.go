@@ -182,6 +182,12 @@ type CommStats struct {
 	Retries          int64
 	Dups             int64
 	RedeliveredBytes int64
+	// Storage-fault counters, nonzero only under a DiskFaultPlan (see
+	// diskfault.go): checkpoint segments damaged by an injected storage
+	// fault, and the manifest bytes a later scrub pass dropped back to
+	// recomputation while healing the damage.
+	DiskFaults         int64
+	ScrubRepairedBytes int64
 }
 
 // Add accumulates o into s.
@@ -202,27 +208,31 @@ func (s *CommStats) Add(o CommStats) {
 	s.Retries += o.Retries
 	s.Dups += o.Dups
 	s.RedeliveredBytes += o.RedeliveredBytes
+	s.DiskFaults += o.DiskFaults
+	s.ScrubRepairedBytes += o.ScrubRepairedBytes
 }
 
 // Sub returns s - o, used for per-phase deltas.
 func (s CommStats) Sub(o CommStats) CommStats {
 	return CommStats{
-		LocalLookups:     s.LocalLookups - o.LocalLookups,
-		OnNodeLookups:    s.OnNodeLookups - o.OnNodeLookups,
-		OffNodeLookups:   s.OffNodeLookups - o.OffNodeLookups,
-		LocalStores:      s.LocalStores - o.LocalStores,
-		OnNodeMsgs:       s.OnNodeMsgs - o.OnNodeMsgs,
-		OffNodeMsgs:      s.OffNodeMsgs - o.OffNodeMsgs,
-		OnNodeBytes:      s.OnNodeBytes - o.OnNodeBytes,
-		OffNodeBytes:     s.OffNodeBytes - o.OffNodeBytes,
-		IOBytes:          s.IOBytes - o.IOBytes,
-		IOWriteBytes:     s.IOWriteBytes - o.IOWriteBytes,
-		CacheHits:        s.CacheHits - o.CacheHits,
-		CacheMisses:      s.CacheMisses - o.CacheMisses,
-		Drops:            s.Drops - o.Drops,
-		Retries:          s.Retries - o.Retries,
-		Dups:             s.Dups - o.Dups,
-		RedeliveredBytes: s.RedeliveredBytes - o.RedeliveredBytes,
+		LocalLookups:       s.LocalLookups - o.LocalLookups,
+		OnNodeLookups:      s.OnNodeLookups - o.OnNodeLookups,
+		OffNodeLookups:     s.OffNodeLookups - o.OffNodeLookups,
+		LocalStores:        s.LocalStores - o.LocalStores,
+		OnNodeMsgs:         s.OnNodeMsgs - o.OnNodeMsgs,
+		OffNodeMsgs:        s.OffNodeMsgs - o.OffNodeMsgs,
+		OnNodeBytes:        s.OnNodeBytes - o.OnNodeBytes,
+		OffNodeBytes:       s.OffNodeBytes - o.OffNodeBytes,
+		IOBytes:            s.IOBytes - o.IOBytes,
+		IOWriteBytes:       s.IOWriteBytes - o.IOWriteBytes,
+		CacheHits:          s.CacheHits - o.CacheHits,
+		CacheMisses:        s.CacheMisses - o.CacheMisses,
+		Drops:              s.Drops - o.Drops,
+		Retries:            s.Retries - o.Retries,
+		Dups:               s.Dups - o.Dups,
+		RedeliveredBytes:   s.RedeliveredBytes - o.RedeliveredBytes,
+		DiskFaults:         s.DiskFaults - o.DiskFaults,
+		ScrubRepairedBytes: s.ScrubRepairedBytes - o.ScrubRepairedBytes,
 	}
 }
 
@@ -448,6 +458,22 @@ func (r *Rank) ChargeIOWrite(bytes int64) {
 	}
 	r.stats.IOWriteBytes += bytes
 	r.advance(c.IOLatencyNs + float64(bytes)/bw*1e9)
+}
+
+// CountDiskFault records that an injected storage fault damaged a
+// checkpoint segment this rank helped write. Counting only — the I/O
+// itself is charged through ChargeIOWrite; a damaged write costs the
+// same virtual time as a clean one.
+func (r *Rank) CountDiskFault() {
+	r.stats.DiskFaults++
+}
+
+// CountScrubRepair records that a checkpoint scrub pass dropped bytes
+// of damaged (or damage-shadowed) checkpoint state back to
+// recomputation while healing a resume. Counting only; the scrub's
+// re-validation reads are charged through ChargeIORead.
+func (r *Rank) CountScrubRepair(bytes int64) {
+	r.stats.ScrubRepairedBytes += bytes
 }
 
 // ClockNs returns the rank's current virtual clock including foreign
